@@ -1,0 +1,34 @@
+"""Bench E-F11: factory SE-round and idle-storage SE-period optimization."""
+
+from repro.experiments import fig11
+
+
+def test_fig11ab_factory_se_rounds(benchmark):
+    def run():
+        return (
+            fig11.factory_volume_vs_se_rounds(1.0 / 6),
+            fig11.factory_volume_vs_se_rounds(1.0 / 2),
+        )
+
+    curve_a, curve_b = benchmark(run)
+    print()
+    for alpha, curve in ((1 / 6, curve_a), (1 / 2, curve_b)):
+        best = fig11.optimal_period_of_curve(curve)
+        print(f"alpha = {alpha:.3f}: optimal SE rounds per gate = {best}")
+        for rounds, vol in sorted(curve.items()):
+            print(f"  {rounds:5.2f} rounds/gate -> {vol:10.1f} qubit*s")
+        assert best <= 1.0  # paper: ~1 round per gate or fewer
+
+
+def test_fig11cd_idle_period(benchmark):
+    curves = benchmark(fig11.idle_volume_vs_period)
+    print()
+    optima = {}
+    for target, curve in curves.items():
+        best = fig11.optimal_period_of_curve(curve)
+        optima[target] = best
+        print(f"rate target {target:.0e}: optimal SE period = {best * 1e3:.2f} ms")
+    values = list(optima.values())
+    # Largely independent of the distance family (paper Fig. 11(c)).
+    assert max(values) / min(values) < 4.0
+    assert all(5e-4 < v < 6e-2 for v in values)

@@ -1,0 +1,21 @@
+"""Bench E-F12: space and logical-error breakdowns per phase."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_breakdowns(benchmark):
+    estimate = benchmark(fig12.generate)
+    print()
+    print(fig12.render(estimate))
+    space = fig12.space_fractions(estimate)
+    # Paper: fan-out dominates active compute during lookup; factories
+    # dominate during addition.
+    lookup = space["lookup"]
+    addition = space["addition"]
+    assert lookup["cnot_fanout"] + lookup["ghz_pipeline"] > lookup["factories"] * 0.8
+    assert addition["factories"] == max(
+        v for k, v in addition.items() if k != "storage"
+    ) or addition["adder_segments"] >= addition["factories"] * 0.5
+    # 4-6 M qubits idle in storage (paper Sec. IV.3.4).
+    idle = estimate.space_breakdown["lookup"]["storage"]
+    assert 2e6 < idle < 8e6

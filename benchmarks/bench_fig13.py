@@ -1,0 +1,25 @@
+"""Bench E-F13: sensitivity to decoding factor and coherence time."""
+
+from repro.experiments import fig13
+
+
+def test_fig13a_alpha_sensitivity(benchmark):
+    curve = benchmark(fig13.volume_vs_alpha)
+    print()
+    for alpha, vol in sorted(curve.items()):
+        print(f"alpha = {alpha:.3f}: {vol:8.1f} Mq*days")
+    ratio = fig13.threshold_drop_cost()
+    print(f"0.86% -> 0.6% threshold drop costs {ratio:.2f}x (paper: ~1.5x)")
+    assert 1.0 <= ratio < 2.0
+    values = [curve[a] for a in sorted(curve)]
+    assert values == sorted(values)  # volume rises with alpha
+
+
+def test_fig13b_coherence_sensitivity(benchmark):
+    curve = benchmark(fig13.volume_vs_coherence)
+    print()
+    for t_coh, vol in sorted(curve.items()):
+        print(f"T_coh = {t_coh:6.1f} s: {vol:8.1f} Mq*days")
+    # Slow increase above 1 s, acceleration below (paper Fig. 13(b)).
+    assert curve[0.3] > curve[10.0]
+    assert curve[0.3] / curve[1.0] > curve[3.0] / curve[10.0]

@@ -1,0 +1,40 @@
+"""Bench E-F14: timescale sensitivities and qubit/time trade-off."""
+
+from repro.experiments import fig14
+
+
+def test_fig14a_acceleration(benchmark):
+    curve = benchmark(fig14.volume_vs_acceleration)
+    print()
+    for factor, vol in sorted(curve.items()):
+        print(f"a x {factor:4.2f}: {vol:8.1f} Mq*days")
+    assert curve[0.25] > curve[4.0]  # faster moves always help
+
+
+def test_fig14b_qec_round(benchmark):
+    curve = benchmark(fig14.qec_round_vs_acceleration)
+    print()
+    for factor, duration in sorted(curve.items()):
+        print(f"a x {factor:4.2f}: QEC gate cycle {duration * 1e6:7.1f} us")
+    assert curve[0.25] > curve[1.0] > curve[4.0]
+
+
+def test_fig14c_reaction(benchmark):
+    curve = benchmark(fig14.volume_vs_reaction_time)
+    print()
+    for tr, vol in sorted(curve.items()):
+        print(f"t_r = {tr * 1e3:5.2f} ms: {vol:8.1f} Mq*days")
+    assert curve[4e-3] > curve[1e-3]
+    # Gains saturate at small reaction times (fan-out bound, Fig. 14(c)).
+    assert curve[0.5e-3] / curve[0.25e-3] < curve[2e-3] / curve[1e-3]
+
+
+def test_fig14d_tradeoff(benchmark):
+    points = benchmark(fig14.qubit_time_tradeoff)
+    print()
+    for mq, days in points:
+        print(f"{mq:6.1f} Mqubits -> {days:6.2f} days ({mq * days:7.1f} Mq*days)")
+    qubits = [mq for mq, _ in points]
+    days = [d for _, d in points]
+    assert qubits == sorted(qubits, reverse=True)
+    assert days == sorted(days)  # fewer qubits, longer runtime

@@ -1,0 +1,16 @@
+"""Bench E-F2: regenerate the Fig. 2 comparison (ours vs lattice surgery)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark):
+    points = benchmark(fig2.generate)
+    print()
+    print(fig2.render(points))
+    speedup = fig2.speedup_vs_ge()
+    print(f"runtime speedup vs GE19 @900us: {speedup:.1f}x (paper: ~50x)")
+    ours = points[0]
+    assert ours.days < 10  # days, not months
+    assert speedup > 20
+    baselines = [p for p in points[1:]]
+    assert all(b.days > 10 * ours.days for b in baselines)

@@ -1,0 +1,27 @@
+"""Bench E-F6: logical-error model fit (a) and CNOT volume curve (b)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6a_monte_carlo_fit(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig6.generate_fig6a(shots=600, seed=31), rounds=1, iterations=1
+    )
+    print()
+    print(f"memory fit: C = {result.memory_fit.prefactor_c:.3f}, "
+          f"Lambda = {result.memory_fit.lam:.2f}")
+    print(f"Eq.(4) fit: alpha = {result.alpha_fit.alpha:.3f} "
+          f"(paper MLE: 0.167), residual = {result.alpha_fit.residual:.2f}")
+    for d, x, rate in result.data:
+        print(f"  d={d} x={x:.2f}: per-CNOT rate {rate:.5f}")
+    assert result.memory_fit.lam > 2.0
+    assert 0.0 <= result.alpha_fit.alpha < 20.0
+
+
+def test_fig6b_volume_curve(benchmark):
+    curve = benchmark(fig6.generate_fig6b)
+    print()
+    print(fig6.render_fig6b(curve))
+    # Optimal SE rounds per CNOT <= 1 at p = 1e-3 (paper Fig. 6(b)).
+    best = min(curve, key=lambda rounds: curve[rounds])
+    assert best <= 1.0

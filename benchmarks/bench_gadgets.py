@@ -1,0 +1,57 @@
+"""Benches E-F8/F9/F10: the constructed gadgets' headline quantities."""
+
+import math
+
+from repro.arithmetic.maj_layout import MajBlockLayout
+from repro.arithmetic.runways import RunwayConfig
+from repro.arithmetic.timing import AdditionTiming
+from repro.codes.color_832 import Color832Code
+from repro.factory.t_to_ccz import DistillationCurve, output_fidelity, run_factory
+from repro.lookup.qrom import QROMSpec
+from repro.lookup.timing import LookupTiming
+
+
+def test_factory_construction(benchmark):
+    """E-F8: 8T-to-CCZ factory: exact 28 p^2 curve and functional check."""
+
+    def run():
+        sim, accepted = run_factory()
+        curve = DistillationCurve(Color832Code())
+        return output_fidelity(sim), accepted, curve.leading_coefficient()
+
+    fidelity, accepted, coefficient = benchmark(run)
+    print()
+    print(f"  no-fault output fidelity: {fidelity:.6f}; accepted: {accepted}")
+    print(f"  undetected harmful weight-2 patterns: {coefficient} (Eq. 8: 28)")
+    assert accepted
+    assert fidelity > 1 - 1e-9
+    assert coefficient == 28
+
+
+def test_adder_gadget(benchmark):
+    """E-F9: MAJ layout bound and the 0.28 s reaction-limited addition."""
+
+    def run():
+        layout = MajBlockLayout(27)
+        timing = AdditionTiming(RunwayConfig(2048, 96, 43), 27)
+        return layout.max_move_sites(), timing.duration
+
+    max_move, duration = benchmark(run)
+    print()
+    print(f"  max MAJ move: {max_move:.1f} sites (sqrt(2) d = {math.sqrt(2) * 27:.1f})")
+    print(f"  addition time: {duration:.3f} s (paper: 0.28 s)")
+    assert max_move <= math.sqrt(2) * 27 + 1e-9
+    assert abs(duration - 0.28) < 0.03
+
+
+def test_lookup_gadget(benchmark):
+    """E-F10: 128-entry lookup at ~0.17 s with bounded fan-out moves."""
+
+    def run():
+        timing = LookupTiming(QROMSpec(7, 2048), 27)
+        return timing.duration
+
+    duration = benchmark(run)
+    print()
+    print(f"  lookup time: {duration:.3f} s (paper: 0.17 s)")
+    assert abs(duration - 0.17) < 0.04

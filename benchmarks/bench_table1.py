@@ -1,0 +1,19 @@
+"""Bench E-T1: echo Table I and the timing quantities derived from it."""
+
+from repro.core.params import PhysicalParams
+from repro.core.timing import TimingModel
+from repro.experiments import tables
+
+
+def test_table1(benchmark):
+    row = benchmark(tables.table_i)
+    print()
+    for name, value in row.items():
+        print(f"  {name:20s} {value:10.1f}")
+    timing = TimingModel(PhysicalParams())
+    print(f"  derived SE-round active time: "
+          f"{4 * (timing.se_move_time + 1e-6) * 1e6:.0f} us (paper: ~400 us)")
+    print(f"  derived patch-move time (d=27): "
+          f"{timing.logical_gate_time(27) * 1e3:.2f} ms")
+    assert row["site_spacing_um"] == 12.0
+    assert row["acceleration_m_s2"] == 5500.0

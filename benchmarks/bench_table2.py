@@ -1,0 +1,17 @@
+"""Bench E-T2: parameter optimization reproducing Table II."""
+
+from repro.experiments import tables
+
+
+def test_table2(benchmark):
+    rows = benchmark(tables.table_ii_rows)
+    print()
+    print(tables.render_table_ii(rows))
+    ours = rows["ours"]
+    # The optimizer must land in the paper's regime: small windows and a
+    # much smaller runway separation than Ref. [8]'s 1024.
+    assert ours["window_exp"] in (2, 3, 4)
+    assert ours["window_mul"] in (3, 4, 5)
+    assert ours["runway_separation"] <= 128
+    assert ours["runway_padding"] >= 20
+    assert ours["max_factories"] >= 100

@@ -1,0 +1,53 @@
+"""Monte-Carlo decoding study: memory suppression and the Eq. (4) fit.
+
+Runs small surface-code memory and two-patch transversal-CNOT experiments
+through the Pauli-frame sampler, decodes with MWPM (sequential correlated
+decoding across the CNOT), and fits the paper's heuristic logical-error
+model (Fig. 6(a)).  Shot counts are kept small so the script finishes in
+about a minute; increase them for tighter fits.
+
+Run:  python examples/decoding_study.py
+"""
+
+from repro.decoder.analysis import (
+    cnot_experiment_rate,
+    fit_alpha,
+    fit_memory_model,
+    memory_logical_error,
+    per_round_rate,
+)
+
+
+def main() -> None:
+    p = 0.003
+    print(f"== memory experiments at p = {p} ==")
+    rates = []
+    for d, rounds, shots in [(3, 4, 3000), (5, 6, 1500)]:
+        res = memory_logical_error(d, rounds, p, shots, seed=11)
+        rate = per_round_rate(res, rounds)
+        rates.append(rate)
+        print(f"  d={d}: {res.failures}/{res.shots} failures -> "
+              f"per-round {rate:.5f} (+-{res.std_error / rounds:.5f})")
+    fit = fit_memory_model([3, 5], rates)
+    print(f"  Eq. (2) fit: C = {fit.prefactor_c:.3f}, Lambda = {fit.lam:.2f}")
+
+    print("\n== transversal-CNOT experiments (sequential decoder) ==")
+    data = []
+    for d, shots in [(3, 1500), (5, 800)]:
+        for every in (1, 2):
+            res, n = cnot_experiment_rate(d, 6, p, every, shots, seed=23)
+            per_cnot = res.rate / n
+            print(f"  d={d}, x=1/{every}: {res.failures}/{res.shots} -> "
+                  f"per-CNOT {per_cnot:.5f}")
+            if res.failures:
+                data.append((d, 1.0 / every, per_cnot))
+
+    alpha = fit_alpha(data, fit.prefactor_c, fit.lam)
+    print(f"\n  Eq. (4) fit: alpha = {alpha.alpha:.3f} "
+          f"(paper's MLE decoder: 0.167); C = {alpha.prefactor_c:.3f}")
+    print("  (a larger alpha for matching-type decoders is expected; the")
+    print("   paper sweeps exactly this sensitivity in Fig. 13(a))")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro: reproduction of the ISCA 2025 low-overhead transversal architecture paper.
+
+Public entry points:
+
+* :mod:`repro.core` -- platform parameters, movement/timing laws, the
+  transversal logical-error model (Eqs. 2-6) and space-time accounting.
+* :mod:`repro.codes` -- Pauli algebra, CSS codes, the rotated surface code
+  and the [[8,3,2]] colour code.
+* :mod:`repro.sim` -- circuit IR, state-vector and stabilizer-tableau
+  simulators, circuit-level noise and detector error models.
+* :mod:`repro.decoder` -- matching decoders and logical-error analysis.
+* :mod:`repro.atoms` -- atom-array geometry, AOD move constraints, schedules.
+* :mod:`repro.factory` -- magic-state cultivation + 8T-to-CCZ factory.
+* :mod:`repro.arithmetic` -- Cuccaro adders, carry runways, windowed
+  arithmetic.
+* :mod:`repro.lookup` -- QROM look-up tables and GHZ-assisted CNOT fan-out.
+* :mod:`repro.parallel` -- bridge-qubit parallelization and reaction timing.
+* :mod:`repro.algorithms` -- factoring and quantum-chemistry estimators and
+  the architecture-level parameter optimizer.
+* :mod:`repro.baselines` -- lattice-surgery baselines (Gidney-Ekera,
+  Beverland et al.) and qLDPC dense-storage variant.
+* :mod:`repro.experiments` -- generators for every figure and table in the
+  paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    ArchitectureConfig,
+    ErrorParams,
+    PhysicalParams,
+    ResourceEstimate,
+    TimingModel,
+)
+
+__all__ = [
+    "ArchitectureConfig",
+    "ErrorParams",
+    "PhysicalParams",
+    "ResourceEstimate",
+    "TimingModel",
+    "__version__",
+]

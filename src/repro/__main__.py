@@ -1,0 +1,76 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage:
+    python -m repro                 # headline estimate + Fig. 2 comparison
+    python -m repro all             # every analytic table/figure
+    python -m repro fig2|fig6b|fig11|fig12|fig13|fig14|table1|table2
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.algorithms.factoring import estimate_factoring
+from repro.experiments import fig2, fig6, fig11, fig12, fig13, fig14, tables
+
+
+def run_headline() -> None:
+    est = estimate_factoring()
+    print("== 2048-bit factoring, transversal architecture ==")
+    print(f"  {est.physical_qubits / 1e6:.1f} M qubits, "
+          f"{est.runtime_seconds / 86400:.2f} days, "
+          f"{est.num_factories} factories")
+    print()
+    print("== Fig. 2 comparison ==")
+    print(fig2.render(fig2.generate()))
+    print(f"  speed-up vs GE19 @900us: {fig2.speedup_vs_ge():.0f}x")
+
+
+def run_section(name: str) -> None:
+    if name == "fig2":
+        print(fig2.render(fig2.generate()))
+    elif name == "fig6b":
+        print(fig6.render_fig6b(fig6.generate_fig6b()))
+    elif name == "fig11":
+        for alpha in (1 / 6, 1 / 2):
+            curve = fig11.factory_volume_vs_se_rounds(alpha)
+            print(f"alpha = {alpha:.3f}:")
+            for rounds, vol in sorted(curve.items()):
+                print(f"  {rounds:5.2f} SE rounds/gate -> {vol:10.1f} qubit*s")
+    elif name == "fig12":
+        print(fig12.render(fig12.generate()))
+    elif name == "fig13":
+        for alpha, vol in sorted(fig13.volume_vs_alpha().items()):
+            print(f"  alpha {alpha:.3f}: {vol:8.1f} Mq*days")
+        for t, vol in sorted(fig13.volume_vs_coherence().items()):
+            print(f"  T_coh {t:6.1f} s: {vol:8.1f} Mq*days")
+    elif name == "fig14":
+        for factor, vol in sorted(fig14.volume_vs_acceleration().items()):
+            print(f"  a x {factor:4.2f}: {vol:8.1f} Mq*days")
+        for mq, days in fig14.qubit_time_tradeoff():
+            print(f"  {mq:6.1f} Mq -> {days:6.2f} days")
+    elif name == "table1":
+        for key, value in tables.table_i().items():
+            print(f"  {key:20s} {value:10.1f}")
+    elif name == "table2":
+        print(tables.render_table_ii(tables.table_ii_rows()))
+    else:
+        raise SystemExit(f"unknown section {name!r}")
+
+
+def main(argv: list[str]) -> None:
+    if not argv:
+        run_headline()
+        return
+    if argv[0] == "all":
+        for section in ("table1", "table2", "fig2", "fig6b", "fig11",
+                        "fig12", "fig13", "fig14"):
+            print(f"\n===== {section} =====")
+            run_section(section)
+        return
+    for name in argv:
+        run_section(name)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,38 @@
+"""Algorithm-level estimators and the parameter optimizer."""
+
+from repro.algorithms.chemistry import (
+    ChemistryEstimate,
+    THCInstance,
+    estimate_chemistry,
+    fermi_hubbard_reference,
+)
+from repro.algorithms.factoring import (
+    FactoringEstimate,
+    FactoringParameters,
+    estimate_factoring,
+    required_distance_for_budget,
+)
+from repro.algorithms.rotation_synthesis import RotationCost, qpe_rotation_budget
+from repro.algorithms.optimizer import (
+    OptimizationResult,
+    candidate_parameters,
+    optimize_factoring,
+    table_ii,
+)
+
+__all__ = [
+    "ChemistryEstimate",
+    "FactoringEstimate",
+    "FactoringParameters",
+    "OptimizationResult",
+    "RotationCost",
+    "THCInstance",
+    "candidate_parameters",
+    "estimate_chemistry",
+    "estimate_factoring",
+    "fermi_hubbard_reference",
+    "optimize_factoring",
+    "qpe_rotation_budget",
+    "required_distance_for_budget",
+    "table_ii",
+]

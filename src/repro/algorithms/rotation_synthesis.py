@@ -1,0 +1,94 @@
+"""Rotation synthesis costs (paper Fig. 1 and Sec. III.3).
+
+Arbitrary-angle rotations appear in the QPE layer of factoring and the
+SELECT block of chemistry.  Two standard implementations, both reducible
+to this repo's gadgets:
+
+* **Phase-gradient addition** (Ref. [21]): adding the angle register into
+  a resource state |PG_b> = sum_k e^{-2 pi i k / 2^b} |k> applies the
+  rotation; cost = one b-bit addition (b ~ log2(1/epsilon) bits).
+* **Repeat-until-success / Ross-Selinger-style T sequences**: ~K log2(1/
+  epsilon) T gates per rotation with K ~ 1-3 depending on the protocol.
+
+The paper's architecture makes the addition route attractive because
+additions are reaction-limited and fast; this module quantifies both so
+algorithm studies can pick per-instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arithmetic.runways import RunwayConfig
+from repro.arithmetic.timing import AdditionTiming
+from repro.core.params import PhysicalParams
+
+# T-count constant of number-theoretic synthesis (Ross-Selinger ~ 1.15
+# log2(1/eps) + O(1); fallback protocols land at ~3 log2(1/eps)).
+SYNTHESIS_T_CONSTANT = 1.15
+SYNTHESIS_T_OFFSET = 9.0
+
+
+@dataclass(frozen=True)
+class RotationCost:
+    """Cost of one single-qubit Z rotation to accuracy epsilon."""
+
+    accuracy: float
+    code_distance: int = 27
+    physical: PhysicalParams = PhysicalParams()
+
+    def __post_init__(self) -> None:
+        if not 0 < self.accuracy < 1:
+            raise ValueError("accuracy must be in (0, 1)")
+
+    @property
+    def angle_bits(self) -> int:
+        """Phase-gradient register width b = ceil(log2(1/eps)) + 1."""
+        return max(2, math.ceil(math.log2(1.0 / self.accuracy)) + 1)
+
+    # -- phase-gradient route ------------------------------------------------
+
+    @property
+    def gradient_toffolis(self) -> int:
+        """One b-bit addition: b MAJ-Toffolis consume CCZ states."""
+        return self.angle_bits
+
+    @property
+    def gradient_time(self) -> float:
+        """Reaction-limited b-bit ripple addition (no runways needed)."""
+        runway = RunwayConfig(self.angle_bits, self.angle_bits, 1)
+        return AdditionTiming(runway, self.code_distance, self.physical).duration
+
+    # -- T-sequence route -------------------------------------------------------
+
+    @property
+    def synthesis_t_count(self) -> float:
+        """Ross-Selinger-style T count."""
+        return SYNTHESIS_T_CONSTANT * math.log2(1.0 / self.accuracy) + SYNTHESIS_T_OFFSET
+
+    @property
+    def synthesis_time(self) -> float:
+        """Sequential T gates, each resolved one reaction time apart."""
+        return self.synthesis_t_count * self.physical.reaction_time
+
+    # -- comparison ------------------------------------------------------------
+
+    def preferred_route(self) -> str:
+        """'gradient' or 'synthesis', whichever is faster wall-clock.
+
+        The gradient route additionally amortizes when many rotations share
+        the resource state, which is the chemistry SELECT situation.
+        """
+        return (
+            "gradient" if self.gradient_time <= self.synthesis_time else "synthesis"
+        )
+
+
+def qpe_rotation_budget(exponent_bits: int, total_error: float) -> float:
+    """Per-rotation accuracy for iterative QPE over ``exponent_bits`` bits."""
+    if exponent_bits < 1:
+        raise ValueError("exponent_bits must be positive")
+    if not 0 < total_error < 1:
+        raise ValueError("total_error must be in (0, 1)")
+    return total_error / exponent_bits

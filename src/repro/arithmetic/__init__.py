@@ -1,0 +1,30 @@
+"""Quantum arithmetic: reversible sim, Cuccaro adders, runways, windows."""
+
+from repro.arithmetic.cuccaro import AdderSpec, add, cuccaro_adder, maj, registers, uma
+from repro.arithmetic.maj_layout import MajBlockLayout
+from repro.arithmetic.modexp import MultiplyAddSpec, multiply_add, multiply_add_circuit
+from repro.arithmetic.reversible import Gate, RegisterFile, ReversibleCircuit
+from repro.arithmetic.runways import RunwayConfig, minimum_padding
+from repro.arithmetic.timing import AdditionTiming
+from repro.arithmetic.windowed import WindowedExpConfig, ekera_hastad_exponent_bits
+
+__all__ = [
+    "AdderSpec",
+    "AdditionTiming",
+    "Gate",
+    "MajBlockLayout",
+    "MultiplyAddSpec",
+    "RegisterFile",
+    "ReversibleCircuit",
+    "RunwayConfig",
+    "WindowedExpConfig",
+    "add",
+    "cuccaro_adder",
+    "ekera_hastad_exponent_bits",
+    "maj",
+    "minimum_padding",
+    "multiply_add",
+    "multiply_add_circuit",
+    "registers",
+    "uma",
+]

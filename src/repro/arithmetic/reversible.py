@@ -1,0 +1,155 @@
+"""Classical reversible-circuit simulator.
+
+Quantum arithmetic circuits (paper Sec. III.7) are classical reversible
+logic run on superpositions; their functional correctness can therefore be
+verified exhaustively/randomly on computational basis states.  This module
+simulates circuits built from X / CX / CCX / SWAP over named bit registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One reversible gate: NOT / CNOT / TOFFOLI / SWAP."""
+
+    name: str  # "X" | "CX" | "CCX" | "SWAP"
+    targets: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        arity = {"X": 1, "CX": 2, "CCX": 3, "SWAP": 2}
+        if self.name not in arity:
+            raise ValueError(f"unknown reversible gate {self.name}")
+        if len(self.targets) != arity[self.name]:
+            raise ValueError(f"{self.name} expects {arity[self.name]} targets")
+        if len(set(self.targets)) != len(self.targets):
+            raise ValueError(f"repeated target in {self}")
+
+
+class ReversibleCircuit:
+    """Ordered gate list over ``num_bits`` wires."""
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        self.num_bits = num_bits
+        self.gates: List[Gate] = []
+
+    def x(self, a: int) -> "ReversibleCircuit":
+        return self._add("X", (a,))
+
+    def cx(self, control: int, target: int) -> "ReversibleCircuit":
+        return self._add("CX", (control, target))
+
+    def ccx(self, c1: int, c2: int, target: int) -> "ReversibleCircuit":
+        return self._add("CCX", (c1, c2, target))
+
+    def swap(self, a: int, b: int) -> "ReversibleCircuit":
+        return self._add("SWAP", (a, b))
+
+    def _add(self, name: str, targets: Tuple[int, ...]) -> "ReversibleCircuit":
+        for t in targets:
+            if not 0 <= t < self.num_bits:
+                raise ValueError(f"wire {t} out of range")
+        self.gates.append(Gate(name, targets))
+        return self
+
+    def extend(self, other: "ReversibleCircuit") -> "ReversibleCircuit":
+        if other.num_bits != self.num_bits:
+            raise ValueError("wire-count mismatch")
+        self.gates.extend(other.gates)
+        return self
+
+    def inverse(self) -> "ReversibleCircuit":
+        """The exact inverse circuit (all gates are involutions)."""
+        inv = ReversibleCircuit(self.num_bits)
+        inv.gates = list(reversed(self.gates))
+        return inv
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, bits: Sequence[int]) -> List[int]:
+        """Apply to a bit vector; returns the output bits."""
+        if len(bits) != self.num_bits:
+            raise ValueError("input width mismatch")
+        state = [int(b) & 1 for b in bits]
+        for gate in self.gates:
+            if gate.name == "X":
+                state[gate.targets[0]] ^= 1
+            elif gate.name == "CX":
+                c, t = gate.targets
+                state[t] ^= state[c]
+            elif gate.name == "CCX":
+                c1, c2, t = gate.targets
+                state[t] ^= state[c1] & state[c2]
+            else:  # SWAP
+                a, b = gate.targets
+                state[a], state[b] = state[b], state[a]
+        return state
+
+    # -- cost metrics -----------------------------------------------------------
+
+    def toffoli_count(self) -> int:
+        return sum(1 for g in self.gates if g.name == "CCX")
+
+    def cnot_count(self) -> int:
+        return sum(1 for g in self.gates if g.name == "CX")
+
+    def toffoli_depth(self) -> int:
+        """Sequential Toffoli layers (greedy ASAP scheduling on wires)."""
+        ready = [0] * self.num_bits
+        depth = 0
+        for gate in self.gates:
+            start = max(ready[t] for t in gate.targets)
+            finish = start + (1 if gate.name == "CCX" else 0)
+            for t in gate.targets:
+                ready[t] = finish
+            depth = max(depth, finish)
+        return depth
+
+
+@dataclass
+class RegisterFile:
+    """Named, contiguous bit registers over one wire space."""
+
+    widths: Dict[str, int]
+    offsets: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cursor = 0
+        for name, width in self.widths.items():
+            if width < 1:
+                raise ValueError(f"register {name!r} must have positive width")
+            self.offsets[name] = cursor
+            cursor += width
+        self.total_bits = cursor
+
+    def bit(self, register: str, index: int) -> int:
+        """Wire index of bit ``index`` (LSB = 0) of a register."""
+        if not 0 <= index < self.widths[register]:
+            raise ValueError(f"bit {index} out of range for {register!r}")
+        return self.offsets[register] + index
+
+    def bits(self, register: str) -> List[int]:
+        return [self.bit(register, i) for i in range(self.widths[register])]
+
+    def encode(self, values: Dict[str, int]) -> List[int]:
+        """Pack register values (little-endian) into a full bit vector."""
+        state = [0] * self.total_bits
+        for name, value in values.items():
+            width = self.widths[name]
+            if value < 0 or value >= (1 << width):
+                raise ValueError(f"value {value} does not fit register {name!r}")
+            for i in range(width):
+                state[self.bit(name, i)] = (value >> i) & 1
+        return state
+
+    def decode(self, state: Sequence[int], register: str) -> int:
+        """Read one register's integer value from a bit vector."""
+        value = 0
+        for i in range(self.widths[register]):
+            value |= (state[self.bit(register, i)] & 1) << i
+        return value

@@ -1,0 +1,96 @@
+"""Oblivious carry runways (paper Sec. III.7, Ref. [66]).
+
+A long ripple-carry addition is broken into segments of ``separation`` bits;
+each segment boundary gets a ``padding``-bit runway register that absorbs
+the carry obliviously, letting all segments ripple in parallel.  The price
+is extra qubits (one runway per boundary) and an approximation error per
+runway that decays as 2^-padding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunwayConfig:
+    """Runway layout for an n-bit adder.
+
+    Attributes:
+        register_width: total bits of the addition target (n).
+        separation: bits between runway insertions (r_sep; paper: 96).
+        padding: runway length in bits (r_pad; paper: 43).
+    """
+
+    register_width: int
+    separation: int
+    padding: int
+
+    def __post_init__(self) -> None:
+        if self.register_width < 1:
+            raise ValueError("register_width must be positive")
+        if self.separation < 1:
+            raise ValueError("separation must be positive")
+        if self.padding < 1:
+            raise ValueError("padding must be positive")
+
+    @property
+    def num_segments(self) -> int:
+        """Parallel ripple segments (ceil division)."""
+        return -(-self.register_width // self.separation)
+
+    @property
+    def num_runways(self) -> int:
+        """Runway registers: one per internal segment boundary."""
+        return max(self.num_segments - 1, 0)
+
+    @property
+    def extra_qubits(self) -> int:
+        """Logical qubits added by the runways."""
+        return self.num_runways * self.padding
+
+    @property
+    def padded_width(self) -> int:
+        """Register plus runway bits."""
+        return self.register_width + self.extra_qubits
+
+    @property
+    def segment_ripple_length(self) -> int:
+        """Sequential ripple length of the longest segment (bits).
+
+        Each segment ripples through its own bits plus its runway padding.
+        """
+        return min(self.separation, self.register_width) + (
+            self.padding if self.num_runways else 0
+        )
+
+    @property
+    def toffoli_depth(self) -> int:
+        """Sequential Toffolis per addition: MAJ + UMA over the segment."""
+        return 2 * self.segment_ripple_length
+
+    def runway_error_per_addition(self) -> float:
+        """Probability a runway fails to absorb the carry pattern.
+
+        Each oblivious runway deviates from the exact adder with probability
+        ~2^-padding per use (Ref. [66]).
+        """
+        return self.num_runways * 2.0 ** (-self.padding)
+
+    def additions_supported(self, budget: float) -> float:
+        """How many additions fit in an approximation-error ``budget``."""
+        per = self.runway_error_per_addition()
+        return math.inf if per == 0 else budget / per
+
+
+def minimum_padding(num_additions: float, budget: float, num_runways: int) -> int:
+    """Smallest padding keeping total runway error under ``budget``.
+
+    Solves num_additions * num_runways * 2^-pad <= budget.
+    """
+    if num_additions <= 0 or num_runways <= 0:
+        return 1
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    return max(1, math.ceil(math.log2(num_additions * num_runways / budget)))

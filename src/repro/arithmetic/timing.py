@@ -1,0 +1,67 @@
+"""Reaction-limited timing of windowed additions (paper Secs. III.5, III.7).
+
+With auto-corrected |CCZ> states, every MAJ/UMA Toffoli resolves its
+conditional Clifford correction one reaction time after the previous one;
+runway segments ripple in parallel, so an addition takes
+
+    t_add = 2 * (r_sep + r_pad) * t_step,   t_step = max(t_r, t_gate-cycle)
+
+which evaluates to ~0.28 s for the paper's r_sep = 96, r_pad = 43 and
+1 ms reaction time.  CCZ consumption is one state per segment per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arithmetic.maj_layout import MajBlockLayout
+from repro.arithmetic.runways import RunwayConfig
+from repro.core.params import PhysicalParams
+from repro.core.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class AdditionTiming:
+    """Timing/throughput summary of one runway-segmented addition."""
+
+    runway: RunwayConfig
+    code_distance: int
+    physical: PhysicalParams = PhysicalParams()
+
+    @property
+    def step_time(self) -> float:
+        """Per-Toffoli step: reaction-limited for Table I parameters."""
+        timing = TimingModel(self.physical)
+        return timing.reaction_limited_step(self.code_distance)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock of one addition: the sequential segment ripple."""
+        return self.runway.toffoli_depth * self.step_time
+
+    @property
+    def ccz_per_step(self) -> float:
+        """CCZ states consumed per step: one per active segment."""
+        return float(self.runway.num_segments)
+
+    @property
+    def ccz_consumption_rate(self) -> float:
+        """CCZ states per second while the addition runs."""
+        return self.ccz_per_step / self.step_time
+
+    @property
+    def total_ccz(self) -> int:
+        """CCZ states per addition: 2 Toffolis per padded bit."""
+        return 2 * self.runway.padded_width
+
+    def active_logical_qubits(self) -> int:
+        """Logical qubits busy during the addition.
+
+        Per segment: the 3 x 2 MAJ working set plus bridges; plus the
+        padded target register itself.
+        """
+        block = MajBlockLayout(self.code_distance)
+        return (
+            self.runway.num_segments * block.logical_qubits
+            + self.runway.padded_width
+        )

@@ -1,0 +1,31 @@
+"""Atom-array geometry, AOD move constraints, schedules and zone plans."""
+
+from repro.atoms.aod import AODViolation, BatchMove, Move, interleave_patches, shift_batch
+from repro.atoms.geometry import (
+    Region,
+    distance_metres,
+    euclidean_sites,
+    interleaved_distance,
+    patch_region,
+)
+from repro.atoms.scheduler import MoveSchedule, ScheduleStep, round_trip
+from repro.atoms.zones import ZonePlan, ZoneSpec, factoring_zone_plan
+
+__all__ = [
+    "AODViolation",
+    "BatchMove",
+    "Move",
+    "MoveSchedule",
+    "Region",
+    "ScheduleStep",
+    "ZonePlan",
+    "ZoneSpec",
+    "distance_metres",
+    "euclidean_sites",
+    "factoring_zone_plan",
+    "interleave_patches",
+    "interleaved_distance",
+    "patch_region",
+    "round_trip",
+    "shift_batch",
+]

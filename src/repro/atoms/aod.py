@@ -1,0 +1,147 @@
+"""AOD (acousto-optic deflector) batch-move constraints.
+
+One AOD grab addresses a set of atoms at the intersections of a set of row
+tones and column tones and displaces them together.  Physical constraints
+(paper Sec. II.1, Ref. [103]):
+
+* atoms picked up simultaneously must form a subset of a product grid
+  (rows x cols);
+* tone order cannot cross during the move: if two atoms start in the same
+  row order / column order, they must land in the same order (AOD rows and
+  columns move monotonically and may not pass each other);
+* all grabbed atoms experience the same duration, set by the longest
+  individual displacement (Eq. 1).
+
+:class:`BatchMove` validates these constraints and reports the duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.atoms.geometry import Site, euclidean_sites
+from repro.core.movement import move_time
+from repro.core.params import PhysicalParams
+
+
+@dataclass(frozen=True)
+class Move:
+    """One atom's source and destination, in site coordinates."""
+
+    source: Site
+    destination: Site
+
+    @property
+    def displacement(self) -> Tuple[int, int]:
+        return (
+            self.destination[0] - self.source[0],
+            self.destination[1] - self.source[1],
+        )
+
+    @property
+    def length_sites(self) -> float:
+        return euclidean_sites(self.source, self.destination)
+
+
+class AODViolation(ValueError):
+    """A batch of moves is not realizable by a single AOD grab."""
+
+
+@dataclass
+class BatchMove:
+    """A set of moves performed in one parallel AOD operation."""
+
+    moves: List[Move]
+
+    def validate(self) -> None:
+        """Check product-grid structure and order preservation.
+
+        Raises:
+            AODViolation: if the batch cannot be performed in one grab.
+        """
+        if not self.moves:
+            return
+        self._check_distinct()
+        self._check_row_col_consistency()
+        self._check_order_preserved()
+
+    def _check_distinct(self) -> None:
+        sources = [m.source for m in self.moves]
+        if len(set(sources)) != len(sources):
+            raise AODViolation("duplicate source sites in batch")
+        dests = [m.destination for m in self.moves]
+        if len(set(dests)) != len(dests):
+            raise AODViolation("duplicate destination sites in batch")
+
+    def _check_row_col_consistency(self) -> None:
+        """Atoms sharing a source row tone must share a row displacement.
+
+        Row tones move as a unit (and likewise columns), so every atom in
+        source row r must have the same row displacement, and every atom in
+        source column c the same column displacement.
+        """
+        row_shift: Dict[int, int] = {}
+        col_shift: Dict[int, int] = {}
+        for m in self.moves:
+            d_row, d_col = m.displacement
+            prior = row_shift.setdefault(m.source[0], d_row)
+            if prior != d_row:
+                raise AODViolation(
+                    f"row {m.source[0]} has inconsistent row shifts {prior} vs {d_row}"
+                )
+            prior = col_shift.setdefault(m.source[1], d_col)
+            if prior != d_col:
+                raise AODViolation(
+                    f"col {m.source[1]} has inconsistent col shifts {prior} vs {d_col}"
+                )
+
+    def _check_order_preserved(self) -> None:
+        """Row tones (and column tones) may not cross or merge."""
+        row_shift: Dict[int, int] = {}
+        col_shift: Dict[int, int] = {}
+        for m in self.moves:
+            row_shift[m.source[0]] = m.displacement[0]
+            col_shift[m.source[1]] = m.displacement[1]
+        for shifts in (row_shift, col_shift):
+            keys = sorted(shifts)
+            landed = [k + shifts[k] for k in keys]
+            for a, b in zip(landed, landed[1:]):
+                if a >= b:
+                    raise AODViolation("tone order not preserved (cross or merge)")
+
+    def duration(self, physical: PhysicalParams) -> float:
+        """Batch duration: the longest single move at Eq. (1) scaling."""
+        self.validate()
+        if not self.moves:
+            return 0.0
+        longest = max(m.length_sites for m in self.moves)
+        return move_time(longest * physical.site_spacing, physical.acceleration)
+
+    @property
+    def max_length_sites(self) -> float:
+        return max((m.length_sites for m in self.moves), default=0.0)
+
+
+def shift_batch(sources: Sequence[Site], d_row: int, d_col: int) -> BatchMove:
+    """Rigid translation of a set of atoms (always AOD-valid)."""
+    return BatchMove([Move(s, (s[0] + d_row, s[1] + d_col)) for s in sources])
+
+
+def interleave_patches(
+    patch_a_corner: Site, patch_b_corner: Site, code_distance: int
+) -> BatchMove:
+    """Move patch B onto patch A's sites, offset so atoms pair up.
+
+    Models the transversal-CNOT interleave of Fig. 3(b): patch B's d x d
+    grid lands displaced to sit between patch A's atoms (here: onto the
+    same integer sites, which pairs atoms index-wise in our coarse grid).
+    """
+    d_row = patch_a_corner[0] - patch_b_corner[0]
+    d_col = patch_a_corner[1] - patch_b_corner[1]
+    sources = [
+        (patch_b_corner[0] + r, patch_b_corner[1] + c)
+        for r in range(code_distance)
+        for c in range(code_distance)
+    ]
+    return shift_batch(sources, d_row, d_col)

@@ -1,0 +1,86 @@
+"""Atom-array site geometry (paper Sec. II.1, Fig. 3).
+
+Sites live on a rectangular grid with pitch ``site_spacing``; positions are
+given in integer site units (row, col) and converted to metres for move-time
+computation.  A :class:`Region` is an axis-aligned rectangle of sites, used
+to describe gadget footprints (factory 12d x 3d, MAJ block 3 x 2 logical
+tiles, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.core.params import PhysicalParams
+
+Site = Tuple[int, int]
+
+
+def euclidean_sites(a: Site, b: Site) -> float:
+    """Distance between two sites, in units of the site pitch."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def distance_metres(a: Site, b: Site, physical: PhysicalParams) -> float:
+    """Distance between two sites in metres."""
+    return euclidean_sites(a, b) * physical.site_spacing
+
+
+@dataclass(frozen=True)
+class Region:
+    """Axis-aligned rectangle of sites: rows [row, row+height), cols alike."""
+
+    row: int
+    col: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError(f"degenerate region: {self}")
+
+    @property
+    def num_sites(self) -> int:
+        return self.height * self.width
+
+    @property
+    def corner(self) -> Site:
+        return (self.row, self.col)
+
+    def contains(self, site: Site) -> bool:
+        return (
+            self.row <= site[0] < self.row + self.height
+            and self.col <= site[1] < self.col + self.width
+        )
+
+    def overlaps(self, other: "Region") -> bool:
+        return not (
+            self.row + self.height <= other.row
+            or other.row + other.height <= self.row
+            or self.col + self.width <= other.col
+            or other.col + other.width <= self.col
+        )
+
+    def shifted(self, d_row: int, d_col: int) -> "Region":
+        return Region(self.row + d_row, self.col + d_col, self.height, self.width)
+
+    def sites(self) -> Iterator[Site]:
+        for r in range(self.row, self.row + self.height):
+            for c in range(self.col, self.col + self.width):
+                yield (r, c)
+
+
+def patch_region(corner: Site, code_distance: int) -> Region:
+    """The d x d data-qubit footprint of a surface-code patch."""
+    return Region(corner[0], corner[1], code_distance, code_distance)
+
+
+def interleaved_distance(code_distance: int) -> float:
+    """Max per-atom move (in site pitches) to interleave two adjacent patches.
+
+    Transversal gates bring matching qubits of two logical-pitch-separated
+    patches together (Fig. 3(b)); each atom travels about one patch pitch.
+    """
+    return float(code_distance)

@@ -1,0 +1,83 @@
+"""Move scheduling for gadget layouts (paper Sec. III.1).
+
+A :class:`MoveSchedule` is a sequence of AOD batch moves; its duration is
+the sum of batch durations plus any gate/measure steps interleaved.  The
+gadget models (MAJ block, GHZ fan-out, factory CNOT stage) construct
+schedules and derive their step times, which feed the algorithm-level
+timing.  The scheduler validates every batch against the AOD constraints,
+so the quoted durations correspond to physically executable moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.atoms.aod import BatchMove
+from repro.core.params import PhysicalParams
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One step: an optional batch move plus fixed-duration operations."""
+
+    label: str
+    batch: Optional[BatchMove] = None
+    gate_pulses: int = 0
+    measurements: int = 0
+
+    def duration(self, physical: PhysicalParams) -> float:
+        total = 0.0
+        if self.batch is not None:
+            total += self.batch.duration(physical)
+        total += self.gate_pulses * physical.gate_time
+        # Parallel measurement: one measurement window regardless of count.
+        if self.measurements:
+            total += physical.measure_time
+        return total
+
+    @property
+    def max_move_sites(self) -> float:
+        return self.batch.max_length_sites if self.batch is not None else 0.0
+
+
+@dataclass
+class MoveSchedule:
+    """Ordered steps; total duration is the serial sum."""
+
+    steps: List[ScheduleStep] = field(default_factory=list)
+
+    def add_move(self, label: str, batch: BatchMove, gate_pulses: int = 0) -> None:
+        batch.validate()
+        self.steps.append(ScheduleStep(label, batch, gate_pulses))
+
+    def add_gates(self, label: str, gate_pulses: int) -> None:
+        self.steps.append(ScheduleStep(label, None, gate_pulses))
+
+    def add_measurement(self, label: str, count: int = 1) -> None:
+        self.steps.append(ScheduleStep(label, None, 0, count))
+
+    def duration(self, physical: PhysicalParams) -> float:
+        return sum(step.duration(physical) for step in self.steps)
+
+    @property
+    def max_move_sites(self) -> float:
+        """Longest single-atom move anywhere in the schedule (site pitches)."""
+        return max((step.max_move_sites for step in self.steps), default=0.0)
+
+    def move_count(self) -> int:
+        return sum(1 for step in self.steps if step.batch is not None)
+
+
+def round_trip(
+    label: str, sources: Sequence[Tuple[int, int]], d_row: int, d_col: int,
+    gate_pulses: int = 1,
+) -> MoveSchedule:
+    """Schedule: move atoms out, pulse, move them back."""
+    from repro.atoms.aod import shift_batch
+
+    schedule = MoveSchedule()
+    schedule.add_move(f"{label}:out", shift_batch(sources, d_row, d_col), gate_pulses)
+    landed = [(s[0] + d_row, s[1] + d_col) for s in sources]
+    schedule.add_move(f"{label}:back", shift_batch(landed, -d_row, -d_col))
+    return schedule

@@ -1,0 +1,107 @@
+"""Processor-level zone plan (paper Figs. 3(b), 5(c,d)).
+
+The machine is laid out as rectangular zones of trap sites:
+
+* dense **storage** for idle logical registers (d^2 atoms per logical qubit,
+  no interleaved ancillas; SE visits on the storage schedule);
+* **compute** tiles for active patches (2 d^2 - 1 atoms: data + ancilla);
+* **factory** strips hosting magic-state factories;
+* an **entangling** margin where patches are interleaved for transversal
+  gates.
+
+The plan computes atom counts and footprints used by the space accounting
+of the algorithm estimators, and places zones adjacently so the
+input/output interfaces between gadgets stay local (Sec. III.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.atoms.geometry import Region
+
+
+@dataclass(frozen=True)
+class ZoneSpec:
+    """One zone: its role and logical capacity."""
+
+    name: str
+    role: str  # "storage" | "compute" | "factory" | "entangling"
+    logical_capacity: int
+    code_distance: int
+
+    def atoms_per_logical(self) -> int:
+        """Physical atoms per logical qubit for this role.
+
+        Dense storage packs d^2 data atoms per logical qubit; active compute
+        tiles carry d^2 data + (d^2 - 1) ancilla.
+        """
+        d = self.code_distance
+        if self.role == "storage":
+            return d * d
+        return 2 * d * d - 1
+
+    @property
+    def num_atoms(self) -> int:
+        return self.logical_capacity * self.atoms_per_logical()
+
+
+@dataclass
+class ZonePlan:
+    """A set of named zones with adjacency-aware footprint layout."""
+
+    zones: List[ZoneSpec] = field(default_factory=list)
+
+    def add(self, zone: ZoneSpec) -> None:
+        if any(z.name == zone.name for z in self.zones):
+            raise ValueError(f"duplicate zone name {zone.name!r}")
+        self.zones.append(zone)
+
+    def zone(self, name: str) -> ZoneSpec:
+        for z in self.zones:
+            if z.name == name:
+                return z
+        raise KeyError(name)
+
+    @property
+    def total_atoms(self) -> int:
+        return sum(z.num_atoms for z in self.zones)
+
+    def atoms_by_role(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for z in self.zones:
+            out[z.role] = out.get(z.role, 0) + z.num_atoms
+        return out
+
+    def layout(self, sites_per_row: int = 4096) -> Dict[str, Region]:
+        """Stack zones top-to-bottom as fixed-width rows of sites.
+
+        A coarse floorplan: each zone becomes a horizontal band whose height
+        fits its atom count at the given width.  Adjacent bands keep
+        inter-zone moves short, matching the paper's local-interface design.
+        """
+        regions: Dict[str, Region] = {}
+        row = 0
+        for z in self.zones:
+            height = max(1, -(-z.num_atoms // sites_per_row))
+            regions[z.name] = Region(row, 0, height, sites_per_row)
+            row += height
+        return regions
+
+
+def factoring_zone_plan(
+    num_register_logicals: int,
+    num_active_logicals: int,
+    num_factories: int,
+    factory_logicals: int,
+    code_distance: int,
+) -> ZonePlan:
+    """Zone plan for the factoring layout of Fig. 5(c,d)."""
+    plan = ZonePlan()
+    plan.add(ZoneSpec("registers", "storage", num_register_logicals, code_distance))
+    plan.add(ZoneSpec("active", "compute", num_active_logicals, code_distance))
+    plan.add(
+        ZoneSpec("factories", "factory", num_factories * factory_logicals, code_distance)
+    )
+    return plan

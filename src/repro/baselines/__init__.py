@@ -1,0 +1,18 @@
+"""Lattice-surgery baselines and the qLDPC storage variant."""
+
+from repro.baselines.beverland import BeverlandModel, beverland_atom_estimate
+from repro.baselines.gidney_ekera import (
+    GidneyEkeraModel,
+    ge_rescaled_to_atoms,
+    ge_superconducting_headline,
+)
+from repro.baselines.qldpc import QLDPCStorageModel
+
+__all__ = [
+    "BeverlandModel",
+    "GidneyEkeraModel",
+    "QLDPCStorageModel",
+    "beverland_atom_estimate",
+    "ge_rescaled_to_atoms",
+    "ge_superconducting_headline",
+]

@@ -1,0 +1,30 @@
+"""QEC codes: Pauli algebra, CSS codes, surface code, [[8,3,2]] colour code."""
+
+from repro.codes.color_832 import Color832Code
+from repro.codes.css import CSSCode, gf2_nullspace, gf2_rank, gf2_rowspace_contains
+from repro.codes.pauli import Pauli, commutation_matrix, mutually_commuting, pauli
+from repro.codes.surface_code import Plaquette, RotatedSurfaceCode
+from repro.codes.transversal_clifford import (
+    FoldPermutation,
+    permutation_is_correct,
+    transversal_h_time,
+    transversal_s_time,
+)
+
+__all__ = [
+    "CSSCode",
+    "FoldPermutation",
+    "Color832Code",
+    "Pauli",
+    "Plaquette",
+    "RotatedSurfaceCode",
+    "commutation_matrix",
+    "gf2_nullspace",
+    "gf2_rank",
+    "gf2_rowspace_contains",
+    "mutually_commuting",
+    "pauli",
+    "permutation_is_correct",
+    "transversal_h_time",
+    "transversal_s_time",
+]

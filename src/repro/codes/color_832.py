@@ -1,0 +1,143 @@
+"""The [[8,3,2]] colour code (paper Sec. III.6, Fig. 8).
+
+Qubits sit on the 8 vertices of a cube, indexed by 3-bit strings
+v = (b2 b1 b0).  Stabilizers: the global X^(x8) and Z on four independent
+faces.  Logical X_i is X on the face {v : bit_i(v) = 1}; logical Z_i is Z on
+the edge where the other two bits are 1.  The code has distance 2: it
+*detects* any single error, which is exactly what the 8T-to-CCZ factory
+post-selects on.
+
+The magic of this code is its transversal non-Clifford gate: applying
+T on even-parity vertices and T^dagger on odd-parity vertices implements a
+logical CCZ on the three encoded qubits.  ``ccz_phase_check`` verifies this
+exactly on all 8 logical basis states.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.codes.css import CSSCode
+
+
+def _bit(v: int, i: int) -> int:
+    return (v >> i) & 1
+
+
+def _parity(v: int) -> int:
+    return _bit(v, 0) ^ _bit(v, 1) ^ _bit(v, 2)
+
+
+class Color832Code:
+    """The [[8,3,2]] 'smallest interesting colour code'."""
+
+    num_qubits = 8
+    num_logical = 3
+    distance = 2
+
+    def __init__(self) -> None:
+        hx = np.ones((1, 8), dtype=np.uint8)  # X^{x8}
+        hz = np.zeros((4, 8), dtype=np.uint8)
+        # Four independent faces: bit_i = 0 for i in {0,1,2}, plus bit_0 = 1.
+        for row, (bit, value) in enumerate(((0, 0), (1, 0), (2, 0), (0, 1))):
+            for v in range(8):
+                if _bit(v, bit) == value:
+                    hz[row, v] = 1
+        self._css = CSSCode(hx, hz, name="color_832")
+
+    @property
+    def css(self) -> CSSCode:
+        return self._css
+
+    # -- logical operators -------------------------------------------------
+
+    def logical_x_support(self, i: int) -> Tuple[int, ...]:
+        """Face {v : bit_i = 1}, weight 4."""
+        self._check_logical_index(i)
+        return tuple(v for v in range(8) if _bit(v, i) == 1)
+
+    def logical_z_support(self, i: int) -> Tuple[int, ...]:
+        """Edge {v : bit_j = bit_k = 1 for j, k != i}, weight 2."""
+        self._check_logical_index(i)
+        others = [j for j in range(3) if j != i]
+        return tuple(
+            v for v in range(8) if all(_bit(v, j) == 1 for j in others)
+        )
+
+    # -- transversal T pattern ----------------------------------------------
+
+    def t_pattern(self) -> Tuple[int, ...]:
+        """Sign pattern of the transversal gate: +1 -> T, -1 -> T^dagger.
+
+        Even-parity vertices get T, odd-parity get T^dagger (matching the
+        2 T / 4 T-dagger / 2 T input pattern of the factory circuit in the
+        paper's Fig. 8(a) up to vertex labelling).
+        """
+        return tuple(1 if _parity(v) == 0 else -1 for v in range(8))
+
+    def codeword_support(self, logical_bits: Tuple[int, int, int]) -> List[int]:
+        """Computational-basis strings of the logical codeword |b2 b1 b0>_L.
+
+        Codewords are (|r> + X^{x8}|r>)/sqrt(2) with r the XOR of logical-X
+        face masks for the set bits.  Returns the two 8-bit strings.
+        """
+        r = 0
+        for i, bit in enumerate(reversed(logical_bits)):  # bits ordered (b2,b1,b0)
+            if bit:
+                for v in self.logical_x_support(i):
+                    r ^= 1 << v
+        return [r, r ^ 0xFF]
+
+    def ccz_phase_check(self) -> bool:
+        """Exact check that the T pattern implements logical CCZ.
+
+        For each logical basis state |abc>_L, the transversal pattern applies
+        a phase exp(i pi/4 * sum_v s_v * bit_v) to each branch of the
+        codeword superposition.  The gate is logical CCZ iff both branches
+        acquire the same phase and that phase equals (-1)^(a b c).
+        """
+        pattern = self.t_pattern()
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    expected = -1.0 if (a and b and c) else 1.0
+                    branch_phases = []
+                    for string in self.codeword_support((a, b, c)):
+                        eighth_turns = sum(
+                            pattern[v] for v in range(8) if (string >> v) & 1
+                        )
+                        branch_phases.append(
+                            complex(np.exp(1j * np.pi / 4 * eighth_turns))
+                        )
+                    if not np.allclose(branch_phases[0], branch_phases[1]):
+                        return False
+                    if not np.allclose(branch_phases[0], expected):
+                        return False
+        return True
+
+    # -- error detection for the factory model ------------------------------
+
+    def z_error_detected(self, error_mask: int) -> bool:
+        """Whether a Z-error pattern (bit mask) flips the X^{x8} stabilizer.
+
+        Z errors anticommute with X^{x8} iff the pattern has odd weight, so
+        every single faulty T gate is caught by the factory's post-selection.
+        """
+        return bin(error_mask & 0xFF).count("1") % 2 == 1
+
+    def z_error_is_logical(self, error_mask: int) -> bool:
+        """Whether an undetected Z-error pattern corrupts the logical state.
+
+        The pattern is harmless iff it is a product of Z stabilizers
+        (membership in the row space of Hz).
+        """
+        vec = np.array([(error_mask >> v) & 1 for v in range(8)], dtype=np.uint8)
+        from repro.codes.css import gf2_rowspace_contains
+
+        return not gf2_rowspace_contains(self._css.hz, vec)
+
+    def _check_logical_index(self, i: int) -> None:
+        if not 0 <= i < 3:
+            raise ValueError(f"logical index must be 0..2, got {i}")

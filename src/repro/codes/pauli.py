@@ -1,0 +1,180 @@
+"""Pauli-string algebra over n qubits.
+
+A Pauli string is represented in the symplectic convention: boolean vectors
+``x`` and ``z`` of length n, where qubit q carries X if ``x[q]`` only,
+Z if ``z[q]`` only, Y if both.  Global phase is tracked modulo 4 (powers of
+i) so products compose exactly; most QEC uses only the +/-1 sector.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_CHAR_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_XZ_TO_CHAR = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+
+
+class Pauli:
+    """An n-qubit Pauli operator with phase i^phase_power.
+
+    Construction from a string ("XIZZY"), from x/z bit vectors, or via the
+    :func:`pauli` helper with sparse supports.
+    """
+
+    __slots__ = ("x", "z", "phase_power")
+
+    def __init__(
+        self,
+        x: Sequence[int] | np.ndarray,
+        z: Sequence[int] | np.ndarray,
+        phase_power: int = 0,
+    ) -> None:
+        self.x = np.asarray(x, dtype=np.uint8) % 2
+        self.z = np.asarray(z, dtype=np.uint8) % 2
+        if self.x.shape != self.z.shape or self.x.ndim != 1:
+            raise ValueError("x and z must be equal-length 1-D vectors")
+        self.phase_power = phase_power % 4
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_string(cls, label: str) -> "Pauli":
+        """Parse e.g. "XIZY" (optionally prefixed by '+', '-', 'i', '-i')."""
+        phase = 0
+        body = label
+        if body.startswith("-i"):
+            phase, body = 3, body[2:]
+        elif body.startswith("i"):
+            phase, body = 1, body[1:]
+        elif body.startswith("-"):
+            phase, body = 2, body[1:]
+        elif body.startswith("+"):
+            body = body[1:]
+        try:
+            bits = [_CHAR_TO_XZ[c] for c in body]
+        except KeyError as exc:
+            raise ValueError(f"invalid Pauli character in {label!r}") from exc
+        xs = [b[0] for b in bits]
+        zs = [b[1] for b in bits]
+        return cls(xs, zs, phase)
+
+    @classmethod
+    def identity(cls, num_qubits: int) -> "Pauli":
+        """The identity operator on ``num_qubits`` qubits."""
+        return cls(np.zeros(num_qubits), np.zeros(num_qubits))
+
+    # -- properties ------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity tensor factors."""
+        return int(np.count_nonzero(self.x | self.z))
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """Indices of non-identity tensor factors."""
+        return tuple(int(q) for q in np.flatnonzero(self.x | self.z))
+
+    def is_identity(self) -> bool:
+        return self.weight == 0 and self.phase_power == 0
+
+    # -- algebra ---------------------------------------------------------
+
+    def commutes_with(self, other: "Pauli") -> bool:
+        """True if the two operators commute (symplectic inner product 0)."""
+        self._check_compatible(other)
+        inner = int(np.dot(self.x, other.z) + np.dot(self.z, other.x)) % 2
+        return inner == 0
+
+    def __mul__(self, other: "Pauli") -> "Pauli":
+        """Operator product self * other with exact phase tracking."""
+        self._check_compatible(other)
+        # i^delta from reordering: each site contributes via the symplectic
+        # convention P = i^(x.z) X^x Z^z.
+        phase = self.phase_power + other.phase_power
+        phase += 2 * int(np.dot(self.z, other.x))  # Z past X picks up (-1)
+        # Normalization of Y factors: count created/destroyed XZ overlaps.
+        phase += _y_normalization(self, other)
+        return Pauli(self.x ^ other.x, self.z ^ other.z, phase)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pauli):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and bool(np.all(self.x == other.x))
+            and bool(np.all(self.z == other.z))
+            and self.phase_power == other.phase_power
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.x.tobytes(), self.z.tobytes(), self.phase_power))
+
+    def equal_up_to_phase(self, other: "Pauli") -> bool:
+        """True if the unsigned Pauli parts coincide."""
+        return bool(np.all(self.x == other.x) and np.all(self.z == other.z))
+
+    def __repr__(self) -> str:
+        prefix = {0: "+", 1: "i", 2: "-", 3: "-i"}[self.phase_power]
+        body = "".join(
+            _XZ_TO_CHAR[(int(a), int(b))] for a, b in zip(self.x, self.z)
+        )
+        return f"{prefix}{body}"
+
+    def _check_compatible(self, other: "Pauli") -> None:
+        if self.num_qubits != other.num_qubits:
+            raise ValueError(
+                f"qubit-count mismatch: {self.num_qubits} vs {other.num_qubits}"
+            )
+
+
+def _y_normalization(a: Pauli, b: Pauli) -> int:
+    """Phase correction (power of i) from combining X/Z into Y factors.
+
+    Using the convention P = i^(x.z) X^x Z^z per qubit, the product picks up
+    i^(a.x*a.z + b.x*b.z - c.x*c.z) with c = a XOR b, evaluated per site.
+    """
+    cx = a.x ^ b.x
+    cz = a.z ^ b.z
+    before = int(np.dot(a.x, a.z)) + int(np.dot(b.x, b.z))
+    after = int(np.dot(cx, cz))
+    return (before - after) % 4
+
+
+def pauli(num_qubits: int, xs: Iterable[int] = (), zs: Iterable[int] = ()) -> Pauli:
+    """Sparse constructor: X on ``xs``, Z on ``zs`` (Y where both)."""
+    x = np.zeros(num_qubits, dtype=np.uint8)
+    z = np.zeros(num_qubits, dtype=np.uint8)
+    for q in xs:
+        _check_index(q, num_qubits)
+        x[q] ^= 1
+    for q in zs:
+        _check_index(q, num_qubits)
+        z[q] ^= 1
+    return Pauli(x, z)
+
+
+def _check_index(q: int, n: int) -> None:
+    if not 0 <= q < n:
+        raise ValueError(f"qubit index {q} out of range for {n} qubits")
+
+
+def commutation_matrix(group: Sequence[Pauli]) -> np.ndarray:
+    """Pairwise symplectic inner products (0 = commute, 1 = anticommute)."""
+    size = len(group)
+    out = np.zeros((size, size), dtype=np.uint8)
+    for i in range(size):
+        for j in range(size):
+            out[i, j] = 0 if group[i].commutes_with(group[j]) else 1
+    return out
+
+
+def mutually_commuting(group: Sequence[Pauli]) -> bool:
+    """True if every pair in ``group`` commutes."""
+    return not commutation_matrix(group).any()

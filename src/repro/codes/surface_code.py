@@ -1,0 +1,163 @@
+"""Rotated surface code [[d^2, 1, d]] (paper Sec. II.3, Fig. 4).
+
+Data qubits live on a d x d grid at integer coordinates (row, col).
+Stabilizer plaquettes live on the (d+1) x (d+1) corner grid; a corner (r, c)
+touches the data qubits {(r-1, c-1), (r-1, c), (r, c-1), (r, c)} that exist.
+Interior corners host weight-4 checks, alternating X/Z on a checkerboard
+(X where r + c is even).  Weight-2 X checks close the top/bottom boundaries
+and weight-2 Z checks close the left/right boundaries; corner plaquettes are
+dropped.  Logical X is a vertical column of X, logical Z a horizontal row of
+Z, intersecting in one qubit.
+
+The class also exposes the matching-graph geometry used by the decoders: for
+each data qubit, the (<= 2) X checks and (<= 2) Z checks containing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.codes.css import CSSCode
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Plaquette:
+    """One stabilizer: corner position, basis ('X' or 'Z'), data support."""
+
+    position: Coord
+    basis: str
+    data: Tuple[int, ...]
+
+    @property
+    def weight(self) -> int:
+        return len(self.data)
+
+
+class RotatedSurfaceCode:
+    """Rotated surface code of odd distance d."""
+
+    def __init__(self, distance: int) -> None:
+        if distance < 2:
+            raise ValueError(f"distance must be >= 2, got {distance}")
+        if distance % 2 == 0:
+            raise ValueError(f"rotated code needs odd distance, got {distance}")
+        self.distance = distance
+        self._data_index: Dict[Coord, int] = {}
+        for row in range(distance):
+            for col in range(distance):
+                self._data_index[(row, col)] = row * distance + col
+        self.x_plaquettes: List[Plaquette] = []
+        self.z_plaquettes: List[Plaquette] = []
+        self._build_plaquettes()
+        self._css = self._build_css()
+
+    # -- construction ----------------------------------------------------
+
+    def _corner_support(self, r: int, c: int) -> Tuple[int, ...]:
+        touched = []
+        for dr, dc in ((-1, -1), (-1, 0), (0, -1), (0, 0)):
+            coord = (r + dr, c + dc)
+            if coord in self._data_index:
+                touched.append(self._data_index[coord])
+        return tuple(sorted(touched))
+
+    def _build_plaquettes(self) -> None:
+        d = self.distance
+        for r in range(d + 1):
+            for c in range(d + 1):
+                support = self._corner_support(r, c)
+                basis = "X" if (r + c) % 2 == 0 else "Z"
+                if len(support) == 4:
+                    self._add(Plaquette((r, c), basis, support))
+                elif len(support) == 2:
+                    on_top_bottom = r in (0, d)
+                    on_left_right = c in (0, d)
+                    if on_top_bottom and not on_left_right and basis == "X":
+                        self._add(Plaquette((r, c), basis, support))
+                    if on_left_right and not on_top_bottom and basis == "Z":
+                        self._add(Plaquette((r, c), basis, support))
+
+    def _add(self, plaq: Plaquette) -> None:
+        if plaq.basis == "X":
+            self.x_plaquettes.append(plaq)
+        else:
+            self.z_plaquettes.append(plaq)
+
+    def _build_css(self) -> CSSCode:
+        n = self.num_data
+        hx = np.zeros((len(self.x_plaquettes), n), dtype=np.uint8)
+        hz = np.zeros((len(self.z_plaquettes), n), dtype=np.uint8)
+        for i, plaq in enumerate(self.x_plaquettes):
+            hx[i, list(plaq.data)] = 1
+        for i, plaq in enumerate(self.z_plaquettes):
+            hz[i, list(plaq.data)] = 1
+        return CSSCode(hx, hz, name=f"rotated_surface_d{self.distance}")
+
+    # -- parameters --------------------------------------------------------
+
+    @property
+    def num_data(self) -> int:
+        """d^2 data qubits."""
+        return self.distance**2
+
+    @property
+    def num_ancilla(self) -> int:
+        """d^2 - 1 measure qubits, one per stabilizer (Sec. II.3)."""
+        return len(self.x_plaquettes) + len(self.z_plaquettes)
+
+    @property
+    def num_physical(self) -> int:
+        """Data plus ancilla qubits for an active patch: 2 d^2 - 1."""
+        return self.num_data + self.num_ancilla
+
+    @property
+    def css(self) -> CSSCode:
+        """The underlying CSS code (checks + logicals)."""
+        return self._css
+
+    def data_index(self, row: int, col: int) -> int:
+        """Linear index of the data qubit at (row, col)."""
+        return self._data_index[(row, col)]
+
+    # -- logical operators -------------------------------------------------
+
+    def logical_x_support(self, col: int = 0) -> Tuple[int, ...]:
+        """Vertical column of X operators (weight d)."""
+        return tuple(self.data_index(r, col) for r in range(self.distance))
+
+    def logical_z_support(self, row: int = 0) -> Tuple[int, ...]:
+        """Horizontal row of Z operators (weight d)."""
+        return tuple(self.data_index(row, c) for c in range(self.distance))
+
+    # -- matching-graph geometry -------------------------------------------
+
+    def checks_on_data(self, basis: str) -> List[Tuple[int, ...]]:
+        """For each data qubit, indices of ``basis`` checks containing it.
+
+        Entries have length 2 in the bulk and length 1 on the boundary the
+        complementary error can terminate on; they form the edges of the
+        matching graph (length-1 entries are boundary edges).
+        """
+        plaqs = self.x_plaquettes if basis == "X" else self.z_plaquettes
+        incidence: List[List[int]] = [[] for _ in range(self.num_data)]
+        for check_idx, plaq in enumerate(plaqs):
+            for q in plaq.data:
+                incidence[q].append(check_idx)
+        return [tuple(lst) for lst in incidence]
+
+    def validate(self) -> None:
+        """Structural invariants: counts, commutation, logical weights."""
+        d = self.distance
+        if len(self.x_plaquettes) + len(self.z_plaquettes) != d * d - 1:
+            raise AssertionError("wrong stabilizer count")
+        if self._css.num_logical != 1:
+            raise AssertionError("rotated surface code must encode 1 qubit")
+        self._css.validate()
+        for support in self.checks_on_data("X") + self.checks_on_data("Z"):
+            if not 1 <= len(support) <= 2:
+                raise AssertionError("each data qubit must touch 1 or 2 checks per basis")

@@ -1,0 +1,64 @@
+"""Core models: parameters, movement, timing, logical errors, volume."""
+
+from repro.core.idle import (
+    IdleOptimum,
+    optimal_storage_period,
+    optimal_storage_period_volume,
+    storage_error_rate,
+)
+from repro.core.logical_error import (
+    cnot_spacetime_volume,
+    effective_threshold,
+    memory_error_per_round,
+    optimal_cnots_per_round,
+    required_distance,
+    required_distance_memory,
+    transversal_cnot_error,
+)
+from repro.core.movement import (
+    batch_move_time,
+    max_move_distance,
+    move_time,
+    move_time_sites,
+    patch_move_time,
+)
+from repro.core.params import (
+    DEFAULT_CONFIG,
+    DEFAULT_ERROR,
+    DEFAULT_PHYSICAL,
+    ArchitectureConfig,
+    ErrorParams,
+    PhysicalParams,
+)
+from repro.core.timing import TimingModel
+from repro.core.volume import ResourceEstimate, SpaceTime, VolumeLedger, peak_footprint
+
+__all__ = [
+    "ArchitectureConfig",
+    "DEFAULT_CONFIG",
+    "DEFAULT_ERROR",
+    "DEFAULT_PHYSICAL",
+    "ErrorParams",
+    "IdleOptimum",
+    "PhysicalParams",
+    "ResourceEstimate",
+    "SpaceTime",
+    "TimingModel",
+    "VolumeLedger",
+    "batch_move_time",
+    "cnot_spacetime_volume",
+    "effective_threshold",
+    "max_move_distance",
+    "memory_error_per_round",
+    "move_time",
+    "move_time_sites",
+    "optimal_cnots_per_round",
+    "optimal_storage_period",
+    "optimal_storage_period_volume",
+    "patch_move_time",
+    "peak_footprint",
+    "required_distance",
+    "required_distance_memory",
+    "storage_error_rate",
+    "transversal_cnot_error",
+]

@@ -1,0 +1,73 @@
+"""Atom-movement time model (paper Sec. II.1, Eq. 1).
+
+Moving an atom a distance ``L`` while keeping thermal excitation constant
+takes time scaling with the square root of the distance:
+
+    t = 2 * sqrt(L / a)
+
+where ``a`` is the effective acceleration during the first half of the
+trajectory and deceleration during the second half.  The paper's parameters
+(Table I) give ~93 us to cross one 12 um site and ~500 us to cross a
+d = 27 logical-patch pitch, which sets the QEC-cycle pipelining.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.core.params import PhysicalParams
+
+
+def move_time(distance: float, acceleration: float) -> float:
+    """Time to move an atom ``distance`` metres (Eq. 1).
+
+    Accelerate for the first half, decelerate for the second half:
+    each half covers L/2 = a t_half^2 / 2, so t = 2 sqrt(L / a).
+
+    Args:
+        distance: move length in metres (non-negative).
+        acceleration: effective acceleration in m/s^2 (positive).
+
+    Returns:
+        Move duration in seconds.  Zero distance takes zero time.
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    if acceleration <= 0:
+        raise ValueError(f"acceleration must be positive, got {acceleration}")
+    return 2.0 * math.sqrt(distance / acceleration)
+
+
+def move_time_sites(num_sites: float, physical: PhysicalParams) -> float:
+    """Move time for a displacement of ``num_sites`` trap-site pitches."""
+    return move_time(num_sites * physical.site_spacing, physical.acceleration)
+
+
+def patch_move_time(code_distance: int, physical: PhysicalParams) -> float:
+    """Time to move a surface-code patch across one logical-qubit pitch.
+
+    A d x d patch moved by d sites: L = d * l.  For Table I parameters and
+    d = 27 this is ~0.5 ms, matching the paper's Sec. IV.2 statement that a
+    patch move equals the measurement time, enabling pipelining.
+    """
+    return move_time_sites(code_distance, physical)
+
+
+def batch_move_time(distances: Iterable[float], acceleration: float) -> float:
+    """Duration of a parallel AOD batch move.
+
+    All atoms grabbed by one AOD pattern move simultaneously; the batch takes
+    as long as its longest individual move.
+    """
+    longest = 0.0
+    for distance in distances:
+        longest = max(longest, distance)
+    return move_time(longest, acceleration)
+
+
+def max_move_distance(duration: float, acceleration: float) -> float:
+    """Inverse of :func:`move_time`: distance coverable within ``duration``."""
+    if duration < 0:
+        raise ValueError(f"duration must be non-negative, got {duration}")
+    return acceleration * (duration / 2.0) ** 2

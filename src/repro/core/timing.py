@@ -1,0 +1,84 @@
+"""Timing model for syndrome extraction and logical operations (Sec. IV.2).
+
+Derives, from the movement law and Table I parameters:
+
+* the duration of one syndrome-extraction (SE) round -- four ancilla moves of
+  about one site pitch plus four entangling pulses, with ancilla readout
+  pipelined against the next round's moves (~400 us for Table I);
+* the duration of one transversal logical gate step -- a patch move across
+  one logical pitch (~500 us at d = 27, equal to the measurement time, so
+  ancilla measurement pipelines with the move) followed by an SE round;
+* the reaction-limited step time for dependent non-Clifford gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import movement
+from repro.core.params import PhysicalParams
+
+# Number of entangling layers in one surface-code SE round (weight-4
+# stabilizers measured with a single ancilla each, Fig. 4(a)).
+SE_CNOT_LAYERS = 4
+
+# Ancilla step length between consecutive SE CNOT layers, in site pitches.
+# The measure qubit visits its four neighbouring data qubits (Fig. 4(a)).
+SE_STEP_SITES = 1.0
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Derived time constants for a given hardware parameter set.
+
+    Attributes:
+        physical: underlying hardware parameters.
+    """
+
+    physical: PhysicalParams = PhysicalParams()
+
+    @property
+    def se_move_time(self) -> float:
+        """Single ancilla hop between neighbouring data qubits."""
+        return movement.move_time_sites(SE_STEP_SITES, self.physical)
+
+    @property
+    def se_round_time(self) -> float:
+        """One SE round: 4 ancilla hops + 4 gate pulses, readout pipelined.
+
+        The ancilla measurement (500 us) of round k overlaps the data-qubit
+        idle/move period of round k+1 in the reconfigurable architecture
+        (Sec. IV.1: "the syndrome extraction can be pipelined"), so it does
+        not extend the round beyond max(moves+gates, measurement).
+        """
+        active = SE_CNOT_LAYERS * (self.se_move_time + self.physical.gate_time)
+        return max(active, self.physical.measure_time)
+
+    def logical_gate_time(self, code_distance: int) -> float:
+        """One transversal logical gate step at distance d.
+
+        The patch move across one logical pitch (~500 us at d = 27) overlaps
+        with the previous round's ancilla measurement; the transversal pulse
+        and the following SE round complete the step.
+        """
+        move = movement.patch_move_time(code_distance, self.physical)
+        interleave = max(move, self.physical.measure_time)
+        return interleave + self.physical.gate_time + self.se_round_time
+
+    @property
+    def reaction_time(self) -> float:
+        """Measure -> decode -> feed-forward latency (1 ms for Table I)."""
+        return self.physical.reaction_time
+
+    def reaction_limited_step(self, code_distance: int) -> float:
+        """Time per sequentially-dependent non-Clifford step.
+
+        Dependent measurement bases resolve one reaction time apart
+        (Sec. III.5); the transversal moves and SE of the step execute inside
+        that window whenever the reaction time dominates.
+        """
+        return max(self.reaction_time, self.logical_gate_time(code_distance))
+
+    def storage_round_time(self) -> float:
+        """Duration of an SE round on densely-packed storage (no patch move)."""
+        return self.se_round_time

@@ -1,0 +1,131 @@
+"""Space-time volume accounting (Sec. II.2).
+
+The optimization objective throughout the paper is the space-time volume of a
+computation: physical-qubit count times run time (qubit-seconds), often
+broken down by architectural component (storage, factories, fan-out, ...).
+This module provides small accounting types shared by the gadget models,
+algorithm estimators and experiment drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+SECONDS_PER_DAY = 86400.0
+MEGAQUBIT = 1e6
+
+
+@dataclass(frozen=True)
+class SpaceTime:
+    """A rectangle of space-time: ``qubits`` held for ``seconds``."""
+
+    qubits: float
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.qubits < 0 or self.seconds < 0:
+            raise ValueError(f"negative space-time block: {self}")
+
+    @property
+    def volume(self) -> float:
+        """Qubit-seconds occupied by this block."""
+        return self.qubits * self.seconds
+
+    def scaled(self, copies: float) -> "SpaceTime":
+        """Space-time of ``copies`` concurrent replicas (same duration)."""
+        return SpaceTime(self.qubits * copies, self.seconds)
+
+    def repeated(self, times: float) -> "SpaceTime":
+        """Space-time of ``times`` sequential repetitions (same footprint)."""
+        return SpaceTime(self.qubits, self.seconds * times)
+
+
+@dataclass
+class VolumeLedger:
+    """Accumulates qubit-seconds per named component.
+
+    Components are free-form labels ("storage", "factories", "fanout", ...).
+    The ledger records concurrent footprints, so the peak qubit count is the
+    maximum over phases, while volume adds across phases.
+    """
+
+    entries: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, component: str, block: SpaceTime) -> None:
+        """Charge a space-time block to a component."""
+        self.entries[component] = self.entries.get(component, 0.0) + block.volume
+
+    def add_volume(self, component: str, qubit_seconds: float) -> None:
+        """Charge raw qubit-seconds to a component."""
+        if qubit_seconds < 0:
+            raise ValueError("volume must be non-negative")
+        self.entries[component] = self.entries.get(component, 0.0) + qubit_seconds
+
+    @property
+    def total(self) -> float:
+        """Total qubit-seconds across all components."""
+        return sum(self.entries.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-component fraction of the total volume."""
+        total = self.total
+        if total == 0:
+            return {name: 0.0 for name in self.entries}
+        return {name: value / total for name, value in self.entries.items()}
+
+    def merged(self, other: "VolumeLedger") -> "VolumeLedger":
+        """Combine two ledgers component-wise."""
+        merged = VolumeLedger(dict(self.entries))
+        for name, value in other.entries.items():
+            merged.entries[name] = merged.entries.get(name, 0.0) + value
+        return merged
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Headline output of an algorithm resource estimation.
+
+    Attributes:
+        physical_qubits: peak physical-qubit footprint.
+        runtime_seconds: wall-clock run time of one algorithm execution.
+        breakdown: qubit-seconds per component.
+        logical_error: estimated total logical failure probability.
+        metadata: free-form extra outputs (counts, chosen parameters, ...).
+    """
+
+    physical_qubits: float
+    runtime_seconds: float
+    breakdown: Mapping[str, float] = field(default_factory=dict)
+    logical_error: float = 0.0
+    metadata: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def runtime_days(self) -> float:
+        """Run time in days."""
+        return self.runtime_seconds / SECONDS_PER_DAY
+
+    @property
+    def megaqubits(self) -> float:
+        """Footprint in millions of physical qubits."""
+        return self.physical_qubits / MEGAQUBIT
+
+    @property
+    def spacetime_volume(self) -> float:
+        """Footprint x run time, in qubit-seconds."""
+        return self.physical_qubits * self.runtime_seconds
+
+    @property
+    def megaqubit_days(self) -> float:
+        """Space-time volume in megaqubit-days, the paper's Fig. 2 unit."""
+        return self.spacetime_volume / (MEGAQUBIT * SECONDS_PER_DAY)
+
+
+def peak_footprint(footprints: Iterable[float]) -> float:
+    """Peak qubit usage over a set of concurrent phase footprints."""
+    peak = 0.0
+    for value in footprints:
+        if value < 0:
+            raise ValueError("footprints must be non-negative")
+        peak = max(peak, value)
+    return peak

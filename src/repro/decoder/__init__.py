@@ -1,0 +1,37 @@
+"""Decoders and logical-error analysis."""
+
+from repro.decoder.analysis import (
+    AlphaFit,
+    LogicalErrorResult,
+    MemoryFit,
+    cnot_experiment_rate,
+    eq4_prediction,
+    fit_alpha,
+    fit_memory_model,
+    memory_logical_error,
+    per_round_rate,
+    run_decoding_experiment,
+)
+from repro.decoder.graph import BOUNDARY, DecodingGraph, Edge
+from repro.decoder.mwpm import MWPMDecoder
+from repro.decoder.sequential import SequentialCNOTDecoder
+from repro.decoder.union_find import UnionFindDecoder
+
+__all__ = [
+    "AlphaFit",
+    "BOUNDARY",
+    "DecodingGraph",
+    "Edge",
+    "LogicalErrorResult",
+    "MWPMDecoder",
+    "MemoryFit",
+    "SequentialCNOTDecoder",
+    "UnionFindDecoder",
+    "cnot_experiment_rate",
+    "eq4_prediction",
+    "fit_alpha",
+    "fit_memory_model",
+    "memory_logical_error",
+    "per_round_rate",
+    "run_decoding_experiment",
+]

@@ -1,0 +1,190 @@
+"""Monte-Carlo logical-error estimation and model fitting (Fig. 6(a)).
+
+Runs memory / transversal-CNOT experiments through the frame sampler and
+the MWPM decoder, estimates logical error rates, and fits the paper's
+heuristic model:
+
+* Eq. (2) memory fit: log p_L = log C - ((d+1)/2) log Lambda.
+* Eq. (4) transversal fit: extracts the decoding factor alpha from
+  per-CNOT logical error rates at different CNOT densities x.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.decoder.graph import DecodingGraph
+from repro.decoder.mwpm import MWPMDecoder
+from repro.sim.circuit import Circuit
+from repro.sim.frame import FrameSimulator
+from repro.sim.memory import memory_circuit, transversal_cnot_experiment
+
+
+@dataclass(frozen=True)
+class LogicalErrorResult:
+    """Outcome of one Monte-Carlo decoding run."""
+
+    shots: int
+    failures: int
+
+    @property
+    def rate(self) -> float:
+        return self.failures / self.shots if self.shots else 0.0
+
+    @property
+    def std_error(self) -> float:
+        """Binomial standard error of the rate."""
+        if self.shots == 0:
+            return 0.0
+        p = self.rate
+        return math.sqrt(max(p * (1 - p), 1e-12) / self.shots)
+
+
+def run_decoding_experiment(
+    circuit: Circuit, shots: int, seed: int = 0, observable: int = 0
+) -> LogicalErrorResult:
+    """Sample a noisy circuit and decode with MWPM on its DEM."""
+    sim = FrameSimulator(circuit, rng=np.random.default_rng(seed))
+    dem = sim.detector_error_model()
+    decoder = MWPMDecoder(DecodingGraph.from_dem(dem))
+    detectors, observables = sim.sample(shots)
+    predictions = decoder.decode_batch(detectors)
+    failures = int(np.sum(predictions[:, observable] ^ observables[:, observable]))
+    return LogicalErrorResult(shots=shots, failures=failures)
+
+
+def memory_logical_error(
+    distance: int, rounds: int, p: float, shots: int, seed: int = 0, basis: str = "Z"
+) -> LogicalErrorResult:
+    """Logical error of a distance-d memory experiment (whole run)."""
+    circuit = memory_circuit(distance, rounds, p, basis)
+    return run_decoding_experiment(circuit, shots, seed)
+
+def per_round_rate(result: LogicalErrorResult, rounds: int) -> float:
+    """Convert a whole-run failure probability to a per-round rate.
+
+    Inverts p_run = (1 - (1 - 2 p_round)^rounds) / 2.
+    """
+    p_run = min(result.rate, 0.4999)
+    return 0.5 * (1.0 - (1.0 - 2.0 * p_run) ** (1.0 / rounds))
+
+
+def cnot_experiment_rate(
+    distance: int,
+    rounds: int,
+    p: float,
+    cnot_every: int,
+    shots: int,
+    seed: int = 0,
+    decoder: str = "sequential",
+) -> Tuple[LogicalErrorResult, int]:
+    """Two-patch transversal-CNOT experiment; returns (result, num_cnots).
+
+    A CNOT is inserted after every ``cnot_every``-th SE round, i.e.
+    x = 1/cnot_every CNOTs per round.  A shot fails when either patch's
+    logical-Z observable is mispredicted (a logical CNOT error).
+
+    Args:
+        decoder: "sequential" (correlated two-pass MWPM, full distance) or
+            "joint" (single MWPM on the naively-decomposed joint graph --
+            a deliberately weaker decoder for ablations).
+    """
+    from repro.decoder.sequential import SequentialCNOTDecoder
+
+    cnot_rounds = list(range(cnot_every, rounds, cnot_every))
+    builder = transversal_cnot_experiment(distance, rounds, p, cnot_rounds)
+    circuit = builder.circuit
+    sim = FrameSimulator(circuit, rng=np.random.default_rng(seed))
+    dem = sim.detector_error_model()
+    if decoder == "sequential":
+        dec = SequentialCNOTDecoder(dem, builder.detector_meta, basis="Z")
+    elif decoder == "joint":
+        dec = MWPMDecoder(DecodingGraph.from_dem(dem))
+    else:
+        raise ValueError(f"unknown decoder {decoder!r}")
+    detectors, observables = sim.sample(shots)
+    predictions = dec.decode_batch(detectors)
+    wrong = (predictions ^ observables).any(axis=1)
+    result = LogicalErrorResult(shots=shots, failures=int(np.sum(wrong)))
+    return result, len(cnot_rounds)
+
+
+# -- model fits ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemoryFit:
+    """Fitted Eq. (2) constants."""
+
+    prefactor_c: float
+    lam: float
+
+
+def fit_memory_model(distances: Sequence[int], per_round: Sequence[float]) -> MemoryFit:
+    """Least-squares fit of log p = log C - ((d+1)/2) log Lambda."""
+    if len(distances) != len(per_round) or len(distances) < 2:
+        raise ValueError("need >= 2 (distance, rate) pairs")
+    xs = np.array([(d + 1) / 2.0 for d in distances])
+    ys = np.array([math.log(max(r, 1e-12)) for r in per_round])
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return MemoryFit(prefactor_c=math.exp(intercept), lam=math.exp(-slope))
+
+
+@dataclass(frozen=True)
+class AlphaFit:
+    """Fitted Eq. (4) decoding factor (and refitted prefactor)."""
+
+    alpha: float
+    prefactor_c: float
+    residual: float
+
+
+def fit_alpha(
+    data: Sequence[Tuple[int, float, float]],
+    prefactor_c: float,
+    lam: float,
+    fit_prefactor: bool = True,
+) -> AlphaFit:
+    """Fit alpha (and optionally C) to per-CNOT logical error rates.
+
+    Args:
+        data: triples (distance, cnots_per_round_x, per_cnot_rate).
+        prefactor_c: initial/fixed prefactor from the memory fit.
+        lam: memory-fit Lambda, held fixed.
+        fit_prefactor: when True (default) C floats jointly with alpha,
+            absorbing boundary effects of the finite-size experiments.
+    """
+    if not data:
+        raise ValueError("no data to fit")
+
+    def model(distance: int, x: float, alpha: float, c: float) -> float:
+        return 2.0 * c / x * ((alpha * x + 1.0) / lam) ** ((distance + 1) / 2.0)
+
+    def loss(params: np.ndarray) -> float:
+        alpha = math.exp(float(params[0]))
+        c = math.exp(float(params[1])) if fit_prefactor else prefactor_c
+        total = 0.0
+        for distance, x, rate in data:
+            total += (
+                math.log(max(rate, 1e-12)) - math.log(model(distance, x, alpha, c))
+            ) ** 2
+        return total
+
+    x0 = np.array([math.log(0.2), math.log(max(prefactor_c, 1e-6))])
+    best = optimize.minimize(loss, x0=x0, method="Nelder-Mead")
+    fitted_c = math.exp(float(best.x[1])) if fit_prefactor else prefactor_c
+    return AlphaFit(
+        alpha=math.exp(float(best.x[0])),
+        prefactor_c=fitted_c,
+        residual=float(best.fun),
+    )
+
+
+def eq4_prediction(distance: int, x: float, prefactor_c: float, lam: float, alpha: float) -> float:
+    """Evaluate Eq. (4) with explicit constants (for plotting/fit checks)."""
+    return 2.0 * prefactor_c / x * ((alpha * x + 1.0) / lam) ** ((distance + 1) / 2.0)

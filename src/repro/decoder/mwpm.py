@@ -1,0 +1,128 @@
+"""Minimum-weight perfect-matching decoder on a decoding graph.
+
+Defects (flipped detectors) are matched pairwise or to the boundary along
+shortest paths of the decoding graph; the predicted logical flip is the XOR
+of observable masks along the matched paths.  Shortest paths are
+precomputed once per graph (the experiment graphs are small), and the
+perfect matching is delegated to networkx's blossom implementation via the
+standard defect-graph + boundary-copy construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.decoder.graph import BOUNDARY, DecodingGraph
+
+
+class MWPMDecoder:
+    """Decoder instance bound to one decoding graph."""
+
+    def __init__(self, graph: DecodingGraph) -> None:
+        self.graph = graph
+        self._nx = nx.Graph()
+        self._nx.add_node(BOUNDARY)
+        for det in range(graph.num_detectors):
+            self._nx.add_node(det)
+        for edge in graph.edges:
+            if len(edge.detectors) == 1:
+                u, v = edge.detectors[0], BOUNDARY
+            else:
+                u, v = edge.detectors
+            obs_mask = _mask(edge.observables, graph.num_observables)
+            # Keep the lighter of parallel edges (merging already done).
+            if self._nx.has_edge(u, v) and self._nx[u][v]["weight"] <= edge.weight:
+                continue
+            self._nx.add_edge(u, v, weight=edge.weight, obs=obs_mask)
+        self._distance: Dict[int, Dict[int, float]] = {}
+        self._path_obs: Dict[int, Dict[int, int]] = {}
+        self._precompute_paths()
+
+    def _precompute_paths(self) -> None:
+        for source in self._nx.nodes:
+            lengths, paths = nx.single_source_dijkstra(self._nx, source, weight="weight")
+            self._distance[source] = lengths
+            obs_map: Dict[int, int] = {}
+            for dest, path in paths.items():
+                mask = 0
+                for a, b in zip(path, path[1:]):
+                    mask ^= self._nx[a][b]["obs"]
+                obs_map[dest] = mask
+            self._path_obs[source] = obs_map
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode(self, syndrome: np.ndarray) -> np.ndarray:
+        """Predict observable flips for one shot.
+
+        Args:
+            syndrome: uint8 vector over detectors (1 = defect).
+
+        Returns:
+            uint8 vector over observables with the predicted flips.
+        """
+        defects = [int(d) for d in np.flatnonzero(syndrome)]
+        prediction = 0
+        if defects:
+            prediction = self._match(defects)
+        return _unmask(prediction, self.graph.num_observables)
+
+    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        """Decode many shots; returns (shots, num_observables) flips."""
+        out = np.zeros((syndromes.shape[0], self.graph.num_observables), dtype=np.uint8)
+        for i in range(syndromes.shape[0]):
+            out[i] = self.decode(syndromes[i])
+        return out
+
+    def _match(self, defects: List[int]) -> int:
+        """Blossom matching on the defect graph with boundary copies."""
+        unreachable = [d for d in defects if d not in self._distance]
+        if unreachable:
+            raise ValueError(f"defects outside the decoding graph: {unreachable}")
+        match_graph = nx.Graph()
+        for i, u in enumerate(defects):
+            match_graph.add_node(("d", i))
+            match_graph.add_node(("b", i))
+            boundary_dist = self._distance[u].get(BOUNDARY)
+            if boundary_dist is not None:
+                match_graph.add_edge(("d", i), ("b", i), weight=boundary_dist)
+            for j in range(i + 1, len(defects)):
+                v = defects[j]
+                dist = self._distance[u].get(v)
+                if dist is not None:
+                    match_graph.add_edge(("d", i), ("d", j), weight=dist)
+        for i in range(len(defects)):
+            for j in range(i + 1, len(defects)):
+                match_graph.add_edge(("b", i), ("b", j), weight=0.0)
+        matching = nx.algorithms.matching.min_weight_matching(match_graph)
+        prediction = 0
+        for a, b in matching:
+            if a[0] == "b" and b[0] == "b":
+                continue
+            if a[0] == "d" and b[0] == "d":
+                u, v = defects[a[1]], defects[b[1]]
+                prediction ^= self._path_obs[u][v]
+            else:
+                defect_node = a if a[0] == "d" else b
+                u = defects[defect_node[1]]
+                prediction ^= self._path_obs[u][BOUNDARY]
+        return prediction
+
+
+def _mask(observables, num_observables: int) -> int:
+    mask = 0
+    for obs in observables:
+        if obs >= num_observables:
+            raise ValueError(f"observable index {obs} out of range")
+        mask |= 1 << obs
+    return mask
+
+
+def _unmask(mask: int, num_observables: int) -> np.ndarray:
+    out = np.zeros(num_observables, dtype=np.uint8)
+    for i in range(num_observables):
+        out[i] = (mask >> i) & 1
+    return out

@@ -1,0 +1,5 @@
+"""Generators for every table and figure of the paper's evaluation."""
+
+from repro.experiments import fig2, fig6, fig11, fig12, fig13, fig14, tables
+
+__all__ = ["fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "tables"]

@@ -1,0 +1,116 @@
+"""Fig. 11: SE-frequency optimization for factories and idle storage.
+
+(a,b) Space-time volume of the 8T-to-CCZ factory against the number of SE
+rounds per transversal gate, for alpha = 1/6 (0.86% one-round threshold)
+and alpha = 1/2 (0.67%); the optimum sits at <= 1 round per gate.
+(c,d) Idle-storage SE-period sweep: volume-per-target vs period for
+several distances, and the error-rate curves showing the optimum where
+idle error is comparable to gate error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.core.idle import idle_error_per_period, storage_error_rate
+from repro.core.logical_error import required_distance
+from repro.core.params import ErrorParams, PhysicalParams
+from repro.core.timing import TimingModel
+from repro.factory.cultivation import CultivationModel
+from repro.factory.layout import FactoryLayout
+
+
+def factory_volume_vs_se_rounds(
+    alpha: float,
+    se_rounds: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    target_ccz_error: float = 1.6e-11,
+    physical: PhysicalParams = PhysicalParams(),
+) -> Dict[float, float]:
+    """Factory qubit-seconds per CCZ vs SE rounds per gate (Fig. 11(a,b)).
+
+    For each SE frequency the factory code distance is re-chosen so the
+    Clifford error of the distillation round stays below the CCZ target,
+    then footprint x cycle time is charged.
+    """
+    error = ErrorParams(alpha=alpha)
+    out: Dict[float, float] = {}
+    for rounds in se_rounds:
+        x = 1.0 / rounds
+        # ~30 logical CNOT-qubit steps of Clifford inside the factory must
+        # sit well under the CCZ target.
+        distance = required_distance(target_ccz_error / 30.0, error, x)
+        layout = FactoryLayout(distance, physical)
+        cultivation = CultivationModel(7.7e-7, distance)
+        stage = layout.cnot_stage_time() * rounds + layout.measurement_time()
+        cycle = max(stage, 8.0 * cultivation.expected_time(
+            TimingModel(physical).se_round_time) / max(
+                cultivation.copies_in_row(), 1))
+        out[rounds] = layout.num_atoms * cycle
+    return out
+
+
+def idle_volume_vs_period(
+    rate_targets: Sequence[float] = (1e-11, 1e-13, 1e-15),
+    periods: Sequence[float] | None = None,
+    error: ErrorParams = ErrorParams(),
+    physical: PhysicalParams = PhysicalParams(),
+    max_distance: int = 201,
+) -> Dict[float, Dict[float, float]]:
+    """Relative storage volume vs SE period (Fig. 11(c)).
+
+    For each period, the smallest distance meeting the per-qubit-per-second
+    error target is chosen; the stored qubit then costs d^2 data atoms plus
+    the ancilla visits amortized over the period (measurement pipelined):
+
+        volume(dt) ~ d(dt)^2 * (1 + t_round / dt)
+
+    Sparse SE inflates d (idle errors), dense SE inflates the ancilla
+    share; the optimum location barely moves across the target families
+    (the paper's distance curves).
+    """
+    from repro.core.timing import TimingModel
+
+    if periods is None:
+        periods = [10 ** (-3.5 + 2.5 * i / 39) for i in range(40)]
+    t_round = TimingModel(physical).se_round_time
+    out: Dict[float, Dict[float, float]] = {}
+    for target in rate_targets:
+        curve: Dict[float, float] = {}
+        for period in periods:
+            distance = None
+            for d in range(3, max_distance + 1, 2):
+                if storage_error_rate(d, period, error, physical) <= target:
+                    distance = d
+                    break
+            if distance is None:
+                curve[period] = math.inf
+                continue
+            curve[period] = distance**2 * (1.0 + t_round / period)
+        out[target] = curve
+    return out
+
+
+def idle_error_vs_period(
+    distance: int = 27,
+    gate_error_rates: Sequence[float] = (5e-4, 1e-3, 2e-3),
+    periods: Sequence[float] | None = None,
+    physical: PhysicalParams = PhysicalParams(),
+) -> Dict[float, Dict[float, float]]:
+    """Error-rate curves for different gate-error rates (Fig. 11(d))."""
+    if periods is None:
+        periods = [10 ** (-4 + 3 * i / 39) for i in range(40)]
+    out: Dict[float, Dict[float, float]] = {}
+    for p_gate in gate_error_rates:
+        error = ErrorParams(p_phys=p_gate)
+        curve = {
+            period: storage_error_rate(distance, period, error, physical)
+            for period in periods
+        }
+        out[p_gate] = curve
+    return out
+
+
+def optimal_period_of_curve(curve: Dict[float, float]) -> float:
+    """Argmin helper for the sweep outputs."""
+    return min(curve, key=lambda period: curve[period])

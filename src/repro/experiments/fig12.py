@@ -1,0 +1,57 @@
+"""Fig. 12: space usage and logical-error contribution by component.
+
+During lookup, the CNOT fan-out dominates space and error budget; during
+addition, the magic-state factories dominate.  Both panels derive from the
+factoring estimate's breakdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.algorithms.factoring import (
+    FactoringEstimate,
+    FactoringParameters,
+    estimate_factoring,
+)
+from repro.core.params import ArchitectureConfig
+
+
+def generate(
+    parameters: FactoringParameters = FactoringParameters(),
+    config: ArchitectureConfig = ArchitectureConfig(),
+) -> FactoringEstimate:
+    return estimate_factoring(parameters, config)
+
+
+def space_fractions(estimate: FactoringEstimate) -> Dict[str, Dict[str, float]]:
+    """Per-phase fractional space usage."""
+    out: Dict[str, Dict[str, float]] = {}
+    for phase, parts in estimate.space_breakdown.items():
+        total = sum(parts.values())
+        out[phase] = {name: value / total for name, value in parts.items()}
+    return out
+
+
+def error_fractions(estimate: FactoringEstimate) -> Dict[str, float]:
+    """Fractional logical-error contributions."""
+    total = estimate.logical_error
+    if total == 0:
+        return {name: 0.0 for name in estimate.error_breakdown}
+    return {
+        name: value / total for name, value in estimate.error_breakdown.items()
+    }
+
+
+def render(estimate: FactoringEstimate) -> str:
+    lines = ["space usage (million physical qubits):"]
+    for phase, parts in estimate.space_breakdown.items():
+        lines.append(f"  during {phase}:")
+        for name, value in sorted(parts.items(), key=lambda kv: -kv[1]):
+            lines.append(f"    {name:16s} {value / 1e6:8.2f} M")
+    lines.append("logical error contributions:")
+    for name, value in sorted(
+        estimate.error_breakdown.items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"    {name:16s} {value:10.3e}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Fig. 14: timescale sensitivities and the qubit/time trade-off.
+
+(a) Volume vs atom-acceleration rescale, (b) QEC-round duration vs the
+same, (c) volume vs reaction time (gains saturate on the fan-out-bound
+lookup), (d) qubits-vs-days trade-off frontier at roughly constant volume
+down to ~15 M qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.algorithms.factoring import FactoringParameters, estimate_factoring
+from repro.core.params import ArchitectureConfig
+from repro.core.timing import TimingModel
+
+
+def volume_vs_acceleration(
+    rescales: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    base: ArchitectureConfig = ArchitectureConfig(),
+) -> Dict[float, float]:
+    """Space-time volume (Mq-days) vs acceleration multiplier."""
+    out: Dict[float, float] = {}
+    for factor in rescales:
+        physical = base.physical.rescaled(
+            acceleration=base.physical.acceleration * factor
+        )
+        est = estimate_factoring(config=base.rescaled(physical=physical))
+        out[factor] = est.physical_qubits * est.runtime_seconds / 86400.0 / 1e6
+    return out
+
+
+def qec_round_vs_acceleration(
+    rescales: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    base: ArchitectureConfig = ArchitectureConfig(),
+    code_distance: int = 27,
+) -> Dict[float, float]:
+    """Move-limited QEC-cycle duration vs acceleration (Fig. 14(b)).
+
+    Ancilla measurement is pipelined against the next round's moves, so the
+    plotted duration is the patch interleave move plus the four SE hops and
+    pulses -- the part that actually shrinks with acceleration.
+    """
+    out: Dict[float, float] = {}
+    for factor in rescales:
+        physical = base.physical.rescaled(
+            acceleration=base.physical.acceleration * factor
+        )
+        timing = TimingModel(physical)
+        from repro.core.movement import patch_move_time
+
+        active = 4 * (timing.se_move_time + physical.gate_time)
+        out[factor] = patch_move_time(code_distance, physical) + active
+    return out
+
+
+def volume_vs_reaction_time(
+    reaction_times: Sequence[float] = (0.25e-3, 0.5e-3, 1e-3, 2e-3, 4e-3),
+    base: ArchitectureConfig = ArchitectureConfig(),
+) -> Dict[float, float]:
+    """Volume vs reaction time; decreasing t_r helps until fan-out binds."""
+    out: Dict[float, float] = {}
+    for tr in reaction_times:
+        physical = base.physical.rescaled(
+            measure_time=tr / 2.0, decode_time=tr / 2.0
+        )
+        est = estimate_factoring(config=base.rescaled(physical=physical))
+        out[tr] = est.physical_qubits * est.runtime_seconds / 86400.0 / 1e6
+    return out
+
+
+def qubit_time_tradeoff(
+    runway_separations: Sequence[int] = (48, 64, 96, 192, 384, 768),
+    base: ArchitectureConfig = ArchitectureConfig(),
+) -> List[Tuple[float, float]]:
+    """(Mqubits, days) frontier traced by the runway separation.
+
+    Smaller separations buy speed with more segments/factories; larger
+    ones shrink the machine at longer runtimes (Fig. 14(d)).
+    """
+    points: List[Tuple[float, float]] = []
+    for r_sep in runway_separations:
+        params = FactoringParameters(runway_separation=r_sep)
+        est = estimate_factoring(params, base)
+        points.append(
+            (est.physical_qubits / 1e6, est.runtime_seconds / 86400.0)
+        )
+    return points

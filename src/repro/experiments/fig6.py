@@ -1,0 +1,77 @@
+"""Fig. 6: logical error model with transversal gates.
+
+(a) Monte-Carlo logical error per CNOT vs code distance and CNOT density,
+fitted with Eq. (4) -- our MWPM/sequential-decoder rendition of the
+paper's MLE-data fit.  (b) analytic space-time volume per logical CNOT vs
+SE rounds per CNOT (Eq. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.logical_error import cnot_spacetime_volume
+from repro.core.params import ErrorParams
+from repro.decoder.analysis import (
+    AlphaFit,
+    MemoryFit,
+    cnot_experiment_rate,
+    fit_alpha,
+    fit_memory_model,
+    memory_logical_error,
+    per_round_rate,
+)
+
+
+@dataclass(frozen=True)
+class Fig6aResult:
+    """Monte-Carlo data points and the fitted model constants."""
+
+    memory_fit: MemoryFit
+    alpha_fit: AlphaFit
+    data: Tuple[Tuple[int, float, float], ...]  # (d, x, per-cnot rate)
+
+
+def generate_fig6a(
+    p: float = 0.003,
+    distances: Sequence[int] = (3, 5),
+    cnot_every: Sequence[int] = (1, 2),
+    shots: int = 1500,
+    seed: int = 29,
+) -> Fig6aResult:
+    """Run the MC experiments and fit Eq. (4)."""
+    rates = []
+    for d in distances:
+        rounds = d + 1
+        res = memory_logical_error(d, rounds, p, shots, seed=seed)
+        rates.append(per_round_rate(res, rounds))
+    memory_fit = fit_memory_model(list(distances), rates)
+    data: List[Tuple[int, float, float]] = []
+    for d in distances:
+        for every in cnot_every:
+            res, n = cnot_experiment_rate(d, 6, p, every, shots, seed=seed)
+            if res.failures == 0:
+                continue
+            data.append((d, 1.0 / every, res.rate / n))
+    alpha_fit = fit_alpha(data, memory_fit.prefactor_c, memory_fit.lam)
+    return Fig6aResult(memory_fit=memory_fit, alpha_fit=alpha_fit, data=tuple(data))
+
+
+def generate_fig6b(
+    error: ErrorParams = ErrorParams(),
+    se_rounds_per_cnot: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+    target_error: float = 1e-12,
+) -> Dict[float, float]:
+    """Volume per CNOT vs SE rounds per CNOT (x = 1/rounds)."""
+    out: Dict[float, float] = {}
+    for rounds in se_rounds_per_cnot:
+        out[rounds] = cnot_spacetime_volume(1.0 / rounds, error, target_error)
+    return out
+
+
+def render_fig6b(curve: Dict[float, float]) -> str:
+    lines = [f"{'SE rounds/CNOT':>15s} {'rel. volume':>12s}"]
+    for rounds, volume in sorted(curve.items()):
+        lines.append(f"{rounds:15.2f} {volume:12.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Magic-state factory: cultivation + 8T-to-CCZ distillation."""
+
+from repro.factory.cultivation import CultivationModel, required_t_error
+from repro.factory.layout import FactoryLayout
+from repro.factory.layout_synth import LayoutResult, synthesize_1d_layout
+from repro.factory.pipeline import FactoryFleet, size_fleet
+from repro.factory.t_to_ccz import (
+    DistillationCurve,
+    distilled_ccz_error,
+    factory_circuit,
+    factory_cnot_layers,
+    output_fidelity,
+    run_factory,
+)
+
+__all__ = [
+    "CultivationModel",
+    "DistillationCurve",
+    "FactoryFleet",
+    "FactoryLayout",
+    "LayoutResult",
+    "distilled_ccz_error",
+    "factory_circuit",
+    "factory_cnot_layers",
+    "output_fidelity",
+    "required_t_error",
+    "run_factory",
+    "size_fleet",
+    "synthesize_1d_layout",
+]

@@ -1,0 +1,84 @@
+"""Magic-state cultivation cost model (paper Sec. III.6, Ref. [97]).
+
+Cultivation grows a |T> state from a small colour code into a surface code
+with in-place checks and post-selection; its expected space-time volume
+(qubit-rounds per accepted state) rises steeply as the target infidelity
+drops.  The paper reads the cost off Fig. 1 of Gidney-Shutty-Jones: a
+7.7e-7 target costs ~1.5e4 qubit-rounds.  We encode that curve as a
+power law anchored at the paper's quoted point, with exponent calibrated
+to the figure's slope over the 1e-5..1e-7 decade.
+
+The grafted colour/surface-code patch is extended to (d+5) x d and the
+width-5 colour-code strip measured out, leaving a regular d x d patch
+(Fig. 8(b)); :meth:`CultivationModel.escape_footprint` accounts for it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Anchor from the paper: per-|T> error 7.7e-7 costs 1.5e4 qubit-rounds.
+ANCHOR_ERROR = 7.7e-7
+ANCHOR_VOLUME = 1.5e4
+# Effective slope of volume vs 1/error on a log-log plot in the relevant
+# decade of Ref. [97] Fig. 1 (calibrated, see DESIGN.md).
+VOLUME_EXPONENT = 0.83
+
+
+@dataclass(frozen=True)
+class CultivationModel:
+    """Cost/acceptance model for one cultivation pipeline."""
+
+    target_error: float
+    code_distance: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.target_error < 1:
+            raise ValueError("target_error must be in (0, 1)")
+        if self.code_distance < 3:
+            raise ValueError("code_distance must be >= 3")
+
+    @property
+    def expected_volume_qubit_rounds(self) -> float:
+        """Expected qubit-rounds per accepted |T> state."""
+        return ANCHOR_VOLUME * (ANCHOR_ERROR / self.target_error) ** VOLUME_EXPONENT
+
+    @property
+    def escape_footprint(self) -> int:
+        """Atoms during escape: the grafted (d+5) x d patch plus ancillas."""
+        d = self.code_distance
+        return 2 * (d + 5) * d
+
+    def expected_rounds(self) -> float:
+        """Rounds per accepted state on the escape footprint."""
+        return self.expected_volume_qubit_rounds / self.escape_footprint
+
+    def expected_time(self, round_time: float) -> float:
+        """Wall-clock per accepted |T> at a given SE-round duration."""
+        if round_time <= 0:
+            raise ValueError("round_time must be positive")
+        return self.expected_rounds() * round_time
+
+    def copies_in_row(self, row_tiles: int = 12) -> int:
+        """Cultivation copies fitting in the factory's 12d x 1d bottom row.
+
+        Each copy needs roughly a (d+5)-by-d strip, i.e. one-plus logical
+        tile of width; the paper estimates 8 copies fit in the 12d row.
+        """
+        d = self.code_distance
+        tiles_per_copy = (d + 5) / d  # width in d-units, height 1 tile
+        return int(row_tiles // math.ceil(tiles_per_copy))
+
+
+def required_t_error(ccz_target: float) -> float:
+    """Per-|T> error so 8T-to-CCZ meets a per-CCZ target (Eq. 8 inverted).
+
+    p_out = 28 p_in^2  =>  p_in = sqrt(p_out / 28).
+
+    The paper's example: 3e9 CCZs at a 5% budget give a 1.6e-11 CCZ target
+    and hence a 7.6e-7 cultivation target.
+    """
+    if not 0 < ccz_target < 1:
+        raise ValueError("ccz_target must be in (0, 1)")
+    return math.sqrt(ccz_target / 28.0)

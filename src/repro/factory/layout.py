@@ -1,0 +1,76 @@
+"""Factory footprint and cycle timing (paper Fig. 8(c,d)).
+
+The combined factory occupies a 12d x 3d tile region: the top rows hold the
+four CNOT-stage logical columns (outputs + [[8,3,2]] block patches laid out
+1-D so no re-ordering moves are needed), and the bottom 12d x 1d row hosts
+eight cultivation copies feeding |T> states upward.  The CNOT stage runs
+its four layers at the transversal-gate cadence while the next batch of
+|T> states grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atoms.geometry import Region
+from repro.core.params import PhysicalParams
+from repro.core.timing import TimingModel
+from repro.factory.cultivation import CultivationModel
+from repro.factory.t_to_ccz import factory_cnot_layers
+
+FACTORY_TILES_WIDE = 12
+FACTORY_TILES_TALL = 3
+CULTIVATION_ROW_TILES = 12
+FACTORY_LOGICAL_PATCHES = 12  # 3 outputs + 8 block qubits + 1 staging
+
+
+@dataclass(frozen=True)
+class FactoryLayout:
+    """Geometry and timing of one 8T-to-CCZ factory at distance d."""
+
+    code_distance: int
+    physical: PhysicalParams = PhysicalParams()
+
+    @property
+    def region(self) -> Region:
+        """Site footprint: 12d wide, 3d tall plus the cultivation row."""
+        d = self.code_distance
+        return Region(0, 0, (FACTORY_TILES_TALL + 1) * d, FACTORY_TILES_WIDE * d)
+
+    @property
+    def num_atoms(self) -> int:
+        """Atoms: 12 active patches (2d^2 - 1 each) + cultivation row."""
+        d = self.code_distance
+        patches = FACTORY_LOGICAL_PATCHES * (2 * d * d - 1)
+        cultivation_row = CULTIVATION_ROW_TILES * d * d
+        return patches + cultivation_row
+
+    @property
+    def num_cnot_layers(self) -> int:
+        return len(factory_cnot_layers())
+
+    def cnot_stage_time(self) -> float:
+        """Four transversal CNOT layers at the logical-gate cadence."""
+        timing = TimingModel(self.physical)
+        return self.num_cnot_layers * timing.logical_gate_time(self.code_distance)
+
+    def measurement_time(self) -> float:
+        """Block X measurement + decode feed-forward: one reaction time."""
+        return self.physical.reaction_time
+
+    def cycle_time(self, cultivation: CultivationModel) -> float:
+        """Period between |CCZ> outputs of one factory.
+
+        Cultivation runs concurrently in the bottom row; the cycle is the
+        slower of (CNOT stage + teleportation/measurement) and the rate at
+        which eight fresh |T> states are cultivated.
+        """
+        stage = self.cnot_stage_time() + self.measurement_time()
+        round_time = TimingModel(self.physical).se_round_time
+        copies = max(cultivation.copies_in_row(CULTIVATION_ROW_TILES), 1)
+        t_rate_limited = 8.0 * cultivation.expected_time(round_time) / copies
+        return max(stage, t_rate_limited)
+
+    def throughput(self, cultivation: CultivationModel) -> float:
+        """|CCZ> states per second from one factory."""
+        return 1.0 / self.cycle_time(cultivation)

@@ -1,0 +1,70 @@
+"""Factory-fleet sizing against the algorithm's CCZ consumption.
+
+Additions consume one |CCZ> per runway segment per reaction step and
+look-ups one per iteration step; the fleet must sustain the peak rate.
+The paper's Table II caps the fleet at 192 factories for 2048-bit
+factoring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import PhysicalParams
+from repro.factory.cultivation import CultivationModel, required_t_error
+from repro.factory.layout import FactoryLayout
+from repro.factory.t_to_ccz import distilled_ccz_error
+
+
+@dataclass(frozen=True)
+class FactoryFleet:
+    """A fleet of identical factories meeting a consumption rate."""
+
+    layout: FactoryLayout
+    cultivation: CultivationModel
+    count: int
+
+    @property
+    def production_rate(self) -> float:
+        """|CCZ> per second across the fleet."""
+        return self.count * self.layout.throughput(self.cultivation)
+
+    @property
+    def num_atoms(self) -> int:
+        return self.count * self.layout.num_atoms
+
+    @property
+    def ccz_error(self) -> float:
+        """Per-|CCZ> infidelity delivered (Eq. 8 on the cultivation target)."""
+        return distilled_ccz_error(self.cultivation.target_error)
+
+
+def size_fleet(
+    consumption_rate: float,
+    code_distance: int,
+    ccz_error_target: float,
+    physical: PhysicalParams = PhysicalParams(),
+    max_factories: int | None = None,
+) -> FactoryFleet:
+    """Smallest fleet sustaining ``consumption_rate`` CCZ/s.
+
+    Args:
+        consumption_rate: peak algorithm demand (states per second).
+        code_distance: surface-code distance of the factory patches.
+        ccz_error_target: per-CCZ error budget; sets the cultivation target
+            via Eq. (8).
+        max_factories: optional cap (the paper's Table II uses 192).
+    """
+    if consumption_rate < 0:
+        raise ValueError("consumption_rate must be non-negative")
+    layout = FactoryLayout(code_distance, physical)
+    cultivation = CultivationModel(
+        target_error=required_t_error(ccz_error_target),
+        code_distance=code_distance,
+    )
+    per_factory = layout.throughput(cultivation)
+    count = max(1, math.ceil(consumption_rate / per_factory))
+    if max_factories is not None:
+        count = min(count, max_factories)
+    return FactoryFleet(layout=layout, cultivation=cultivation, count=count)

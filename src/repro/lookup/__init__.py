@@ -1,0 +1,29 @@
+"""Quantum look-up tables: QROM, GHZ-assisted fan-out, timing."""
+
+from repro.lookup.ghz_fanout import (
+    FanoutLayout,
+    FanoutWires,
+    fanout_circuit,
+    fanout_wires,
+    ghz_fixup,
+    ghz_prep_circuit,
+    optimal_grid_spacing,
+)
+from repro.lookup.qrom import QROMSpec, lookup, qrom_circuit, qrom_registers
+from repro.lookup.timing import LookupTiming, optimal_pipeline_copies
+
+__all__ = [
+    "FanoutLayout",
+    "FanoutWires",
+    "LookupTiming",
+    "QROMSpec",
+    "fanout_circuit",
+    "fanout_wires",
+    "ghz_fixup",
+    "ghz_prep_circuit",
+    "lookup",
+    "optimal_grid_spacing",
+    "optimal_pipeline_copies",
+    "qrom_circuit",
+    "qrom_registers",
+]

@@ -1,0 +1,214 @@
+"""GHZ-assisted CNOT fan-out (paper Sec. III.8, Fig. 10(b,c)).
+
+A log-depth fan-out tree would need long-range moves; instead a GHZ state
+is prepared measurement-based in constant depth -- qubits in |+>, ZZ parity
+measurements via helper ancillae, Pauli frame fix-ups -- and one transversal
+CNOT from the GHZ state onto the targets performs the whole fan-out, after
+which the GHZ qubits are measured in X and a conditional Z correction is
+applied.
+
+The module provides (a) the Clifford circuit generator, verified on the
+tableau simulator, and (b) the snake layout of Fig. 10(c) whose per-step
+moves are bounded by 2 d l, with the GHZ-grid-spacing qubit/move trade-off
+the paper optimizes over.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.movement import move_time_sites
+from repro.core.params import PhysicalParams
+from repro.sim.circuit import Circuit
+
+
+def ghz_prep_circuit(num_qubits: int) -> Circuit:
+    """Measurement-based GHZ preparation on qubits 0..n-1.
+
+    Qubits start in |+>; helpers n..2n-2 measure ZZ of neighbours; the
+    deterministic Pauli-frame fix-up (X on a suffix for each odd outcome)
+    is applied as classically-controlled X here via explicit branches --
+    the returned circuit defers them, so consumers must apply
+    :func:`ghz_fixup` using the measurement record.
+    """
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least 2 qubits")
+    circuit = Circuit()
+    ghz = list(range(num_qubits))
+    helpers = list(range(num_qubits, 2 * num_qubits - 1))
+    circuit.append("RX", ghz)
+    circuit.append("R", helpers)
+    for i, helper in enumerate(helpers):
+        circuit.cx(ghz[i], helper)
+        circuit.cx(ghz[i + 1], helper)
+    circuit.measure(*helpers)
+    return circuit
+
+
+def ghz_fixup(record: List[int], num_qubits: int) -> List[int]:
+    """Qubits needing an X fix-up given the helper ZZ outcomes.
+
+    Outcome m_i = 1 means qubits i and i+1 disagree in Z; flipping every
+    qubit after an odd prefix parity restores |0...0> + |1...1>.
+    """
+    if len(record) < num_qubits - 1:
+        raise ValueError("record too short")
+    flips = []
+    parity = 0
+    for i in range(1, num_qubits):
+        parity ^= record[i - 1]
+        if parity:
+            flips.append(i)
+    return flips
+
+
+@dataclass(frozen=True)
+class FanoutWires:
+    """Wire assignment of the fan-out gadget."""
+
+    control: int
+    ghz: Tuple[int, ...]
+    helpers: Tuple[int, ...]
+    targets: Tuple[int, ...]
+
+    @property
+    def num_qubits(self) -> int:
+        return 1 + len(self.ghz) + len(self.helpers) + len(self.targets)
+
+
+def fanout_wires(num_targets: int) -> FanoutWires:
+    """Standard wire layout: control | GHZ x n | helpers x n | targets x n."""
+    n = num_targets
+    return FanoutWires(
+        control=0,
+        ghz=tuple(1 + i for i in range(n)),
+        helpers=tuple(1 + n + i for i in range(n)),
+        targets=tuple(1 + 2 * n + i for i in range(n)),
+    )
+
+
+def fanout_circuit(num_targets: int) -> Circuit:
+    """Measurement-based CNOT fan-out of the control onto every target.
+
+    The control heads a ZZ-parity chain through the GHZ qubits (prepared in
+    |+>), entangling them into an extended GHZ state correlated with the
+    control's Z value; a transversal CNOT copies onto the targets and the
+    GHZ qubits are measured out in X.
+
+    The helper ZZ outcomes dictate X fix-ups on the GHZ qubits and the
+    X-outcome parity a Z fix-up on the control.  The IR has no classical
+    control, so consumers either track the Pauli frame themselves or, in
+    tests, post-select all outcomes to 0 (``forced_measurements``), where
+    no fix-up is needed.
+    """
+    if num_targets < 2:
+        raise ValueError("fan-out needs at least 2 targets")
+    wires = fanout_wires(num_targets)
+    circuit = Circuit()
+    circuit.append("RX", wires.ghz)
+    circuit.append("R", wires.helpers)
+    chain = (wires.control,) + wires.ghz
+    for i, helper in enumerate(wires.helpers):
+        circuit.cx(chain[i], helper)
+        circuit.cx(chain[i + 1], helper)
+    circuit.measure(*wires.helpers)
+    for g, t in zip(wires.ghz, wires.targets):
+        circuit.cx(g, t)
+    circuit.measure_x(*wires.ghz)
+    return circuit
+
+
+@dataclass(frozen=True)
+class FanoutLayout:
+    """Snake layout of the fan-out (Fig. 10(c)).
+
+    GHZ qubits sit on a grid of pitch ``grid_spacing`` logical tiles
+    threading through the target register; each target is at most half a
+    grid pitch from its GHZ qubit, and helpers sit between GHZ neighbours.
+
+    Attributes:
+        num_targets: registers receiving the fan-out.
+        grid_spacing: GHZ grid pitch in logical-tile units (>= 1); larger
+            spacing uses fewer GHZ qubits (one serves several targets via
+            extra local moves) at the cost of longer moves.
+        code_distance: surface-code distance d.
+    """
+
+    num_targets: int
+    grid_spacing: int
+    code_distance: int
+
+    def __post_init__(self) -> None:
+        if self.num_targets < 1:
+            raise ValueError("num_targets must be positive")
+        if self.grid_spacing < 1:
+            raise ValueError("grid_spacing must be >= 1")
+
+    @property
+    def num_ghz_qubits(self) -> int:
+        """GHZ qubits: one per grid cell of targets."""
+        return -(-self.num_targets // self.grid_spacing)
+
+    @property
+    def num_helper_qubits(self) -> int:
+        return max(self.num_ghz_qubits - 1, 0)
+
+    @property
+    def logical_qubits(self) -> int:
+        """GHZ + helpers (targets counted by the caller)."""
+        return self.num_ghz_qubits + self.num_helper_qubits
+
+    @property
+    def max_move_tiles(self) -> float:
+        """Longest move in logical-tile units: reaching across the cell."""
+        return float(self.grid_spacing)
+
+    def max_move_sites(self) -> float:
+        """Longest move in site pitches; 2 d l at grid spacing 2."""
+        return self.max_move_tiles * self.code_distance
+
+    def move_time(self, physical: PhysicalParams) -> float:
+        return move_time_sites(self.max_move_sites(), physical)
+
+    def stage_count(self) -> int:
+        """Pipeline stages: prep, fix-up+fan-out, consume (Fig. 10(b))."""
+        return 3
+
+    def spacetime_cost(self, physical: PhysicalParams, reaction_time: float) -> float:
+        """Relative qubit-seconds of one fan-out at this spacing.
+
+        Qubits: GHZ + helpers (times 2d^2 atoms); time: the serial moves to
+        serve ``grid_spacing`` targets per GHZ qubit plus one reaction for
+        the X-measurement correction.
+        """
+        d = self.code_distance
+        atoms = self.logical_qubits * (2 * d * d)
+        serve_time = self.grid_spacing * self.move_time(physical)
+        return atoms * (serve_time + reaction_time)
+
+
+def optimal_grid_spacing(
+    num_targets: int,
+    code_distance: int,
+    physical: PhysicalParams,
+    reaction_time: float,
+    candidates: Tuple[int, ...] = (1, 2, 3, 4, 6, 8),
+) -> int:
+    """Grid spacing minimizing the fan-out space-time cost.
+
+    The paper optimizes this parameter per experiment; for Table I numbers
+    the optimum is small (1-2): moves are cheap but qubits are not.
+    """
+    best = None
+    best_cost = math.inf
+    for spacing in candidates:
+        layout = FanoutLayout(num_targets, spacing, code_distance)
+        cost = layout.spacetime_cost(physical, reaction_time)
+        if cost < best_cost:
+            best_cost = cost
+            best = spacing
+    if best is None:
+        raise ValueError("no candidate spacings")
+    return best

@@ -1,0 +1,114 @@
+"""Look-up table timing and pipelining (paper Secs. III.8, IV.2).
+
+The unary iteration advances one table entry per reaction-limited Toffoli
+step; the per-entry fan-out (GHZ preparation, transversal CNOT, X-basis
+measurement) is pipelined against the iteration, contributing only its
+non-hidden part.  For the paper's parameters (w = 7, 128 entries, 1 ms
+reaction time) a lookup takes ~0.17 s.
+
+GHZ preparation, consumption, and measurement form a three-stage pipeline;
+the paper finds a single copy per stage minimizes space-time volume, which
+:func:`optimal_pipeline_copies` reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import PhysicalParams
+from repro.core.timing import TimingModel
+from repro.lookup.ghz_fanout import FanoutLayout
+from repro.lookup.qrom import QROMSpec
+
+
+@dataclass(frozen=True)
+class LookupTiming:
+    """Wall-clock and resource model of one table lookup."""
+
+    spec: QROMSpec
+    code_distance: int
+    physical: PhysicalParams = PhysicalParams()
+    fanout_grid_spacing: int = 2
+
+    @property
+    def step_time(self) -> float:
+        """Reaction-limited unary-iteration step."""
+        return TimingModel(self.physical).reaction_limited_step(self.code_distance)
+
+    @property
+    def fanout_overhead_per_entry(self) -> float:
+        """Non-pipelined remainder of the per-entry fan-out.
+
+        The fan-out is a three-stage pipeline (GHZ prep, transversal CNOT,
+        X measurement; Fig. 10(b)) with one copy per stage, so only a third
+        of the local move time (bounded by the grid spacing) stays exposed
+        beyond the reaction-limited iteration step.
+        """
+        layout = FanoutLayout(
+            self.spec.target_bits, self.fanout_grid_spacing, self.code_distance
+        )
+        return layout.move_time(self.physical) / layout.stage_count()
+
+    @property
+    def unlookup_steps(self) -> int:
+        """Measurement-based unlookup: ~2 sqrt(N) fix-up steps (Ref. [65])."""
+        return 2 * math.isqrt(self.spec.num_entries)
+
+    @property
+    def duration(self) -> float:
+        """Total lookup time: iteration + exposed fan-out + unlookup.
+
+        ~0.17 s for 128 entries at Table I parameters and d = 27.
+        """
+        per_entry = self.step_time + self.fanout_overhead_per_entry
+        return self.spec.num_entries * per_entry + self.unlookup_steps * self.step_time
+
+    @property
+    def ccz_consumption_rate(self) -> float:
+        """Magic states per second during the iteration: one per step."""
+        return 1.0 / (self.step_time + self.fanout_overhead_per_entry)
+
+    def active_logical_qubits(self) -> int:
+        """Logical qubits busy during the lookup: targets + GHZ + scratch."""
+        layout = FanoutLayout(
+            self.spec.target_bits, self.fanout_grid_spacing, self.code_distance
+        )
+        return (
+            self.spec.target_bits
+            + layout.logical_qubits
+            + self.spec.ancilla_bits
+            + self.spec.address_bits
+        )
+
+
+def optimal_pipeline_copies(
+    timing: LookupTiming,
+    candidates=(1, 2, 3, 4),
+) -> int:
+    """Copies per pipeline stage minimizing lookup space-time volume.
+
+    Extra GHZ copies shave the exposed fan-out overhead (overlapping more
+    of the prep) but each copy adds a full GHZ register of qubits for the
+    whole lookup.  For Table I parameters one copy per stage wins, matching
+    the paper's observation.
+    """
+    best = None
+    best_volume = math.inf
+    layout_qubits = FanoutLayout(
+        timing.spec.target_bits, timing.fanout_grid_spacing, timing.code_distance
+    ).logical_qubits
+    for copies in candidates:
+        exposed = timing.fanout_overhead_per_entry / copies
+        duration = (
+            timing.spec.num_entries * (timing.step_time + exposed)
+            + timing.unlookup_steps * timing.step_time
+        )
+        qubits = timing.active_logical_qubits() + (copies - 1) * layout_qubits
+        volume = duration * qubits
+        if volume < best_volume:
+            best_volume = volume
+            best = copies
+    if best is None:
+        raise ValueError("no candidates")
+    return best

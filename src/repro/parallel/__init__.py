@@ -1,0 +1,18 @@
+"""Parallelization: bridge qubits, reaction timing, AutoCCZ gadget."""
+
+from repro.parallel.autoccz import (
+    AutoCCZTiming,
+    teleported_ccz_circuit,
+    verify_autoccz_branch,
+)
+from repro.parallel.bridge import BridgedExecution, parallel_copies
+from repro.parallel.reaction import ReactionModel
+
+__all__ = [
+    "AutoCCZTiming",
+    "BridgedExecution",
+    "ReactionModel",
+    "parallel_copies",
+    "teleported_ccz_circuit",
+    "verify_autoccz_branch",
+]

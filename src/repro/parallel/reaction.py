@@ -1,0 +1,48 @@
+"""Reaction-time model (paper Secs. II.2, IV.2).
+
+The reaction time is the measurement -> decode -> feed-forward round trip
+that paces every sequentially-dependent non-Clifford gate.  The paper
+assumes 1 ms (500 us measurement + 500 us decoding with matching-based
+correlated decoders [71, 72]); Fig. 14(c) sweeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import PhysicalParams
+
+
+@dataclass(frozen=True)
+class ReactionModel:
+    """Components of the classical feedback loop."""
+
+    measure_time: float = 500e-6
+    decode_time: float = 500e-6
+    feedforward_time: float = 0.0
+
+    @property
+    def reaction_time(self) -> float:
+        return self.measure_time + self.decode_time + self.feedforward_time
+
+    @classmethod
+    def from_physical(cls, physical: PhysicalParams) -> "ReactionModel":
+        return cls(physical.measure_time, physical.decode_time)
+
+    def with_decoder_speedup(self, factor: float) -> "ReactionModel":
+        """Faster decoding (FPGA/ASIC decoders, Refs. [49, 50])."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return ReactionModel(
+            self.measure_time, self.decode_time / factor, self.feedforward_time
+        )
+
+    def with_readout(self, measure_time: float) -> "ReactionModel":
+        """Alternative readout technology (cavity-assisted, etc.)."""
+        if measure_time <= 0:
+            raise ValueError("measure_time must be positive")
+        return ReactionModel(measure_time, self.decode_time, self.feedforward_time)
+
+    def reaction_limited_rate(self) -> float:
+        """Dependent non-Clifford gates per second."""
+        return 1.0 / self.reaction_time

@@ -1,0 +1,27 @@
+"""Circuit IR, simulators, noise sampling and experiment builders."""
+
+from repro.sim.circuit import Circuit, Operation
+from repro.sim.frame import DetectorErrorModel, ErrorMechanism, FrameSimulator
+from repro.sim.memory import (
+    MemoryExperimentBuilder,
+    memory_circuit,
+    transversal_cnot_circuit,
+    transversal_cnot_experiment,
+)
+from repro.sim.statevector import StateVector, ccz_state
+from repro.sim.tableau import TableauSimulator
+
+__all__ = [
+    "Circuit",
+    "DetectorErrorModel",
+    "ErrorMechanism",
+    "FrameSimulator",
+    "MemoryExperimentBuilder",
+    "Operation",
+    "StateVector",
+    "TableauSimulator",
+    "ccz_state",
+    "memory_circuit",
+    "transversal_cnot_circuit",
+    "transversal_cnot_experiment",
+]

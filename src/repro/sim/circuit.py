@@ -1,0 +1,209 @@
+"""Gate-level circuit IR shared by all simulators.
+
+A :class:`Circuit` is an ordered list of operations.  Supported names:
+
+* Clifford gates: ``H``, ``S``, ``S_DAG``, ``X``, ``Y``, ``Z``, ``CX``,
+  ``CZ``, ``SWAP`` (two-qubit gates take qubit pairs).
+* Non-Clifford gates (state-vector simulator only): ``T``, ``T_DAG``,
+  ``CCZ``, ``CCX``.
+* Resets/measurements: ``R`` (reset to |0>), ``RX`` (reset to |+>),
+  ``M`` (measure Z), ``MX`` (measure X).  Measurements append to a global
+  record; operations address records by absolute index.
+* Noise channels: ``X_ERROR``, ``Z_ERROR``, ``Y_ERROR``, ``DEPOLARIZE1``
+  (probability ``arg``), ``DEPOLARIZE2`` on qubit pairs.
+* Annotations: ``DETECTOR`` (XOR of measurement records, deterministic
+  under no noise), ``OBSERVABLE_INCLUDE`` (adds records to a logical
+  observable, ``arg`` = observable index), ``TICK`` (no-op marker).
+
+The IR is deliberately stim-like so the detector/observable machinery of
+:mod:`repro.sim.frame` can mirror standard QEC workflows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+CLIFFORD_1Q = ("H", "S", "S_DAG", "X", "Y", "Z")
+CLIFFORD_2Q = ("CX", "CZ", "SWAP")
+NON_CLIFFORD = ("T", "T_DAG", "CCZ", "CCX")
+RESETS = ("R", "RX")
+MEASUREMENTS = ("M", "MX")
+NOISE_1Q = ("X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1")
+NOISE_2Q = ("DEPOLARIZE2",)
+ANNOTATIONS = ("DETECTOR", "OBSERVABLE_INCLUDE", "TICK")
+
+ALL_NAMES = (
+    CLIFFORD_1Q
+    + CLIFFORD_2Q
+    + NON_CLIFFORD
+    + RESETS
+    + MEASUREMENTS
+    + NOISE_1Q
+    + NOISE_2Q
+    + ANNOTATIONS
+)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One circuit instruction.
+
+    Attributes:
+        name: one of ``ALL_NAMES``.
+        targets: qubit indices (gates/noise) or measurement-record indices
+            (annotations).
+        arg: probability for noise, observable index for
+            ``OBSERVABLE_INCLUDE``; unused otherwise.
+    """
+
+    name: str
+    targets: Tuple[int, ...] = ()
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.name not in ALL_NAMES:
+            raise ValueError(f"unknown operation {self.name!r}")
+        if self.name in NOISE_1Q + NOISE_2Q and not 0.0 <= self.arg <= 1.0:
+            raise ValueError(f"noise probability out of range: {self.arg}")
+        if self.name in CLIFFORD_2Q + NOISE_2Q and len(self.targets) % 2:
+            raise ValueError(f"{self.name} needs qubit pairs, got {self.targets}")
+        if self.name in ("CCZ", "CCX") and len(self.targets) % 3:
+            raise ValueError(f"{self.name} needs qubit triples, got {self.targets}")
+
+
+class Circuit:
+    """Mutable ordered operation list with a builder API."""
+
+    def __init__(self) -> None:
+        self.operations: List[Operation] = []
+        self._num_measurements = 0
+
+    # -- builder ----------------------------------------------------------
+
+    def append(self, name: str, targets: Iterable[int] = (), arg: float = 0.0) -> "Circuit":
+        """Append one operation; returns self for chaining."""
+        op = Operation(name, tuple(int(t) for t in targets), arg)
+        self.operations.append(op)
+        if name in MEASUREMENTS:
+            self._num_measurements += len(op.targets)
+        return self
+
+    def h(self, *qubits: int) -> "Circuit":
+        return self.append("H", qubits)
+
+    def s(self, *qubits: int) -> "Circuit":
+        return self.append("S", qubits)
+
+    def t(self, *qubits: int) -> "Circuit":
+        return self.append("T", qubits)
+
+    def t_dag(self, *qubits: int) -> "Circuit":
+        return self.append("T_DAG", qubits)
+
+    def x(self, *qubits: int) -> "Circuit":
+        return self.append("X", qubits)
+
+    def z(self, *qubits: int) -> "Circuit":
+        return self.append("Z", qubits)
+
+    def cx(self, *qubits: int) -> "Circuit":
+        return self.append("CX", qubits)
+
+    def cz(self, *qubits: int) -> "Circuit":
+        return self.append("CZ", qubits)
+
+    def swap(self, *qubits: int) -> "Circuit":
+        return self.append("SWAP", qubits)
+
+    def ccz(self, a: int, b: int, c: int) -> "Circuit":
+        return self.append("CCZ", (a, b, c))
+
+    def ccx(self, a: int, b: int, target: int) -> "Circuit":
+        return self.append("CCX", (a, b, target))
+
+    def reset(self, *qubits: int) -> "Circuit":
+        return self.append("R", qubits)
+
+    def reset_x(self, *qubits: int) -> "Circuit":
+        return self.append("RX", qubits)
+
+    def measure(self, *qubits: int) -> "Circuit":
+        return self.append("M", qubits)
+
+    def measure_x(self, *qubits: int) -> "Circuit":
+        return self.append("MX", qubits)
+
+    def tick(self) -> "Circuit":
+        return self.append("TICK")
+
+    def depolarize1(self, qubits: Iterable[int], p: float) -> "Circuit":
+        return self.append("DEPOLARIZE1", qubits, p)
+
+    def depolarize2(self, qubit_pairs: Iterable[int], p: float) -> "Circuit":
+        return self.append("DEPOLARIZE2", qubit_pairs, p)
+
+    def x_error(self, qubits: Iterable[int], p: float) -> "Circuit":
+        return self.append("X_ERROR", qubits, p)
+
+    def z_error(self, qubits: Iterable[int], p: float) -> "Circuit":
+        return self.append("Z_ERROR", qubits, p)
+
+    def detector(self, record_indices: Iterable[int]) -> "Circuit":
+        """Declare that the XOR of these records is noiselessly constant."""
+        return self.append("DETECTOR", record_indices)
+
+    def observable_include(self, observable: int, record_indices: Iterable[int]) -> "Circuit":
+        """Add measurement records into logical observable ``observable``."""
+        return self.append("OBSERVABLE_INCLUDE", record_indices, float(observable))
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def num_measurements(self) -> int:
+        return self._num_measurements
+
+    @property
+    def num_qubits(self) -> int:
+        """1 + highest qubit index touched by a gate/noise/reset/measure."""
+        highest = -1
+        for op in self.operations:
+            if op.name in ANNOTATIONS:
+                continue
+            for t in op.targets:
+                highest = max(highest, t)
+        return highest + 1
+
+    @property
+    def num_detectors(self) -> int:
+        return sum(1 for op in self.operations if op.name == "DETECTOR")
+
+    @property
+    def num_observables(self) -> int:
+        indices = [int(op.arg) for op in self.operations if op.name == "OBSERVABLE_INCLUDE"]
+        return max(indices) + 1 if indices else 0
+
+    def count(self, name: str) -> int:
+        """Total targets count of ops with this name (e.g. CX pair count)."""
+        width = 2 if name in CLIFFORD_2Q + NOISE_2Q else 3 if name in ("CCZ", "CCX") else 1
+        return sum(len(op.targets) // width for op in self.operations if op.name == name)
+
+    def __iadd__(self, other: "Circuit") -> "Circuit":
+        for op in other.operations:
+            self.append(op.name, op.targets, op.arg)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __repr__(self) -> str:
+        return f"Circuit({len(self.operations)} ops, {self.num_qubits} qubits)"
+
+    def without_noise(self) -> "Circuit":
+        """Copy with all noise channels removed."""
+        clean = Circuit()
+        for op in self.operations:
+            if op.name in NOISE_1Q + NOISE_2Q:
+                continue
+            clean.append(op.name, op.targets, op.arg)
+        return clean

@@ -1,0 +1,278 @@
+"""Pauli-frame Monte-Carlo sampler and detector-error-model extraction.
+
+The frame simulator propagates only *errors* through a Clifford circuit:
+the noiseless circuit is assumed to make every DETECTOR deterministic (the
+builders in :mod:`repro.sim.memory` guarantee this; a tableau cross-check is
+provided in the tests).  Each shot holds an X/Z frame per qubit; noise ops
+flip frame bits with their probabilities, gates conjugate the frame, and a
+measurement's outcome flip is the frame's anticommutation with the measured
+observable.  Detector values are XORs of measurement flips.
+
+The same propagation engine, run with one "shot" per elementary error
+mechanism, yields the detector error model (DEM): for every possible
+physical error, the set of detectors and logical observables it flips.
+Mechanisms with identical symptoms are merged with XOR-convolved
+probabilities.  The DEM is what the matching decoder consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.circuit import Circuit
+
+_PAULI_1Q = ((1, 0), (1, 1), (0, 1))  # X, Y, Z as (x, z) flips
+_PAULI_2Q = tuple(
+    (a, b)
+    for a in ((0, 0), (1, 0), (1, 1), (0, 1))
+    for b in ((0, 0), (1, 0), (1, 1), (0, 1))
+    if (a, b) != ((0, 0), (0, 0))
+)
+
+
+@dataclass(frozen=True)
+class ErrorMechanism:
+    """One independent error source of the detector error model.
+
+    Attributes:
+        probability: chance the mechanism fires in one shot.
+        detectors: sorted indices of detectors it flips.
+        observables: sorted indices of logical observables it flips.
+    """
+
+    probability: float
+    detectors: Tuple[int, ...]
+    observables: Tuple[int, ...]
+
+
+@dataclass
+class DetectorErrorModel:
+    """Collection of independent error mechanisms plus circuit metadata."""
+
+    mechanisms: List[ErrorMechanism]
+    num_detectors: int
+    num_observables: int
+
+    def merged(self) -> "DetectorErrorModel":
+        """Combine mechanisms with identical symptoms.
+
+        Two independent sources with the same symptom act like one source
+        firing with probability p = p1 (1 - p2) + p2 (1 - p1).
+        """
+        combined: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float] = {}
+        for mech in self.mechanisms:
+            key = (mech.detectors, mech.observables)
+            prior = combined.get(key, 0.0)
+            combined[key] = prior * (1 - mech.probability) + mech.probability * (1 - prior)
+        merged = [
+            ErrorMechanism(p, dets, obs)
+            for (dets, obs), p in sorted(combined.items())
+            if p > 0
+        ]
+        return DetectorErrorModel(merged, self.num_detectors, self.num_observables)
+
+
+class FrameSimulator:
+    """Vectorized Pauli-frame propagation over many shots."""
+
+    def __init__(self, circuit: Circuit, rng: Optional[np.random.Generator] = None) -> None:
+        self.circuit = circuit
+        self.num_qubits = circuit.num_qubits
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(self, shots: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample detector and observable flip tables.
+
+        Returns:
+            (detectors, observables): uint8 arrays of shape
+            (shots, num_detectors) and (shots, num_observables).
+        """
+        frame_x = np.zeros((shots, self.num_qubits), dtype=np.uint8)
+        frame_z = np.zeros((shots, self.num_qubits), dtype=np.uint8)
+        flips = np.zeros((shots, self.circuit.num_measurements), dtype=np.uint8)
+        detectors = np.zeros((shots, self.circuit.num_detectors), dtype=np.uint8)
+        observables = np.zeros((shots, max(self.circuit.num_observables, 1)), dtype=np.uint8)
+        cursor = _Cursor()
+        for op in self.circuit.operations:
+            self._apply(op, frame_x, frame_z, flips, detectors, observables, cursor, noisy=True)
+        return detectors, observables[:, : self.circuit.num_observables]
+
+    # -- detector error model ----------------------------------------------------
+
+    def detector_error_model(self) -> DetectorErrorModel:
+        """Extract the DEM by propagating one frame per error mechanism."""
+        mechanisms = self._enumerate_mechanisms()
+        count = len(mechanisms)
+        frame_x = np.zeros((count, self.num_qubits), dtype=np.uint8)
+        frame_z = np.zeros((count, self.num_qubits), dtype=np.uint8)
+        flips = np.zeros((count, self.circuit.num_measurements), dtype=np.uint8)
+        detectors = np.zeros((count, self.circuit.num_detectors), dtype=np.uint8)
+        observables = np.zeros((count, max(self.circuit.num_observables, 1)), dtype=np.uint8)
+        cursor = _Cursor()
+        noise_index = 0
+        for op in self.circuit.operations:
+            if op.name in ("X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1", "DEPOLARIZE2"):
+                # Inject the mechanisms tied to this op into their rows.
+                while noise_index < count and mechanisms[noise_index][0] is op:
+                    _, _, x_flip_qubits, z_flip_qubits, _ = mechanisms[noise_index]
+                    row = noise_index
+                    for q in x_flip_qubits:
+                        frame_x[row, q] ^= 1
+                    for q in z_flip_qubits:
+                        frame_z[row, q] ^= 1
+                    noise_index += 1
+            else:
+                self._apply(op, frame_x, frame_z, flips, detectors, observables, cursor, noisy=False)
+        out = [
+            ErrorMechanism(
+                probability=prob,
+                detectors=tuple(int(d) for d in np.flatnonzero(detectors[row])),
+                observables=tuple(int(o) for o in np.flatnonzero(observables[row])),
+            )
+            for row, (_, prob, _, _, _) in enumerate(mechanisms)
+        ]
+        dem = DetectorErrorModel(
+            [m for m in out if m.detectors or m.observables],
+            self.circuit.num_detectors,
+            self.circuit.num_observables,
+        )
+        return dem.merged()
+
+    def _enumerate_mechanisms(self):
+        """List (op, probability, x_qubits, z_qubits, tag) for every outcome."""
+        mechanisms = []
+        for op in self.circuit.operations:
+            if op.name == "X_ERROR":
+                for q in op.targets:
+                    mechanisms.append((op, op.arg, (q,), (), "X"))
+            elif op.name == "Z_ERROR":
+                for q in op.targets:
+                    mechanisms.append((op, op.arg, (), (q,), "Z"))
+            elif op.name == "Y_ERROR":
+                for q in op.targets:
+                    mechanisms.append((op, op.arg, (q,), (q,), "Y"))
+            elif op.name == "DEPOLARIZE1":
+                for q in op.targets:
+                    for x_bit, z_bit in _PAULI_1Q:
+                        mechanisms.append(
+                            (op, op.arg / 3.0, (q,) if x_bit else (), (q,) if z_bit else (), "D1")
+                        )
+            elif op.name == "DEPOLARIZE2":
+                for a, b in zip(op.targets[0::2], op.targets[1::2]):
+                    for (xa, za), (xb, zb) in _PAULI_2Q:
+                        xs = tuple(q for q, bit in ((a, xa), (b, xb)) if bit)
+                        zs = tuple(q for q, bit in ((a, za), (b, zb)) if bit)
+                        mechanisms.append((op, op.arg / 15.0, xs, zs, "D2"))
+        return mechanisms
+
+    # -- op application ------------------------------------------------------------
+
+    def _apply(self, op, frame_x, frame_z, flips, detectors, observables, cursor, noisy):
+        name = op.name
+        if name == "H":
+            for q in op.targets:
+                frame_x[:, q], frame_z[:, q] = frame_z[:, q].copy(), frame_x[:, q].copy()
+        elif name == "S" or name == "S_DAG":
+            for q in op.targets:
+                frame_z[:, q] ^= frame_x[:, q]
+        elif name in ("X", "Y", "Z", "TICK"):
+            return  # Pauli gates commute through the frame trivially.
+        elif name == "CX":
+            for c, t in zip(op.targets[0::2], op.targets[1::2]):
+                frame_x[:, t] ^= frame_x[:, c]
+                frame_z[:, c] ^= frame_z[:, t]
+        elif name == "CZ":
+            for a, b in zip(op.targets[0::2], op.targets[1::2]):
+                frame_z[:, a] ^= frame_x[:, b]
+                frame_z[:, b] ^= frame_x[:, a]
+        elif name == "SWAP":
+            for a, b in zip(op.targets[0::2], op.targets[1::2]):
+                frame_x[:, [a, b]] = frame_x[:, [b, a]]
+                frame_z[:, [a, b]] = frame_z[:, [b, a]]
+        elif name == "R":
+            for q in op.targets:
+                frame_x[:, q] = 0
+                frame_z[:, q] = 0
+        elif name == "RX":
+            for q in op.targets:
+                frame_x[:, q] = 0
+                frame_z[:, q] = 0
+        elif name == "M":
+            for q in op.targets:
+                flips[:, cursor.measurement] = frame_x[:, q]
+                cursor.measurement += 1
+        elif name == "MX":
+            for q in op.targets:
+                flips[:, cursor.measurement] = frame_z[:, q]
+                cursor.measurement += 1
+        elif name == "DETECTOR":
+            value = np.zeros(flips.shape[0], dtype=np.uint8)
+            for rec in op.targets:
+                value ^= flips[:, rec]
+            detectors[:, cursor.detector] = value
+            cursor.detector += 1
+        elif name == "OBSERVABLE_INCLUDE":
+            index = int(op.arg)
+            for rec in op.targets:
+                observables[:, index] ^= flips[:, rec]
+        elif name == "X_ERROR":
+            if noisy:
+                hit = self._rng.random((flips.shape[0], len(op.targets))) < op.arg
+                for i, q in enumerate(op.targets):
+                    frame_x[:, q] ^= hit[:, i].astype(np.uint8)
+        elif name == "Z_ERROR":
+            if noisy:
+                hit = self._rng.random((flips.shape[0], len(op.targets))) < op.arg
+                for i, q in enumerate(op.targets):
+                    frame_z[:, q] ^= hit[:, i].astype(np.uint8)
+        elif name == "Y_ERROR":
+            if noisy:
+                hit = self._rng.random((flips.shape[0], len(op.targets))) < op.arg
+                for i, q in enumerate(op.targets):
+                    frame_x[:, q] ^= hit[:, i].astype(np.uint8)
+                    frame_z[:, q] ^= hit[:, i].astype(np.uint8)
+        elif name == "DEPOLARIZE1":
+            if noisy:
+                shots = flips.shape[0]
+                for q in op.targets:
+                    draw = self._rng.random(shots)
+                    # Split [0, p) into thirds for X, Y, Z.
+                    x_hit = draw < 2 * op.arg / 3
+                    z_hit = (draw >= op.arg / 3) & (draw < op.arg)
+                    frame_x[:, q] ^= x_hit.astype(np.uint8)
+                    frame_z[:, q] ^= z_hit.astype(np.uint8)
+        elif name == "DEPOLARIZE2":
+            if noisy:
+                shots = flips.shape[0]
+                for a, b in zip(op.targets[0::2], op.targets[1::2]):
+                    draw = self._rng.random(shots)
+                    hit = draw < op.arg
+                    which = self._rng.integers(0, 15, size=shots)
+                    for k, ((xa, za), (xb, zb)) in enumerate(_PAULI_2Q):
+                        rows = hit & (which == k)
+                        if not rows.any():
+                            continue
+                        sel = rows.astype(np.uint8)
+                        if xa:
+                            frame_x[:, a] ^= sel
+                        if za:
+                            frame_z[:, a] ^= sel
+                        if xb:
+                            frame_x[:, b] ^= sel
+                        if zb:
+                            frame_z[:, b] ^= sel
+        else:
+            raise ValueError(f"frame simulator cannot run {name}")
+
+
+class _Cursor:
+    """Mutable counters for measurement/detector positions during a pass."""
+
+    def __init__(self) -> None:
+        self.measurement = 0
+        self.detector = 0

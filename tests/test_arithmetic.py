@@ -1,0 +1,189 @@
+"""Tests for reversible sim, Cuccaro adders, runways and windowed arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic.cuccaro import AdderSpec, add, cuccaro_adder, registers
+from repro.arithmetic.maj_layout import MajBlockLayout
+from repro.arithmetic.reversible import Gate, RegisterFile, ReversibleCircuit
+from repro.arithmetic.runways import RunwayConfig, minimum_padding
+from repro.arithmetic.timing import AdditionTiming
+from repro.arithmetic.windowed import WindowedExpConfig, ekera_hastad_exponent_bits
+from repro.core.params import PhysicalParams
+
+
+class TestReversible:
+    def test_x_gate(self):
+        c = ReversibleCircuit(2).x(0)
+        assert c.run([0, 1]) == [1, 1]
+
+    def test_cx(self):
+        c = ReversibleCircuit(2).cx(0, 1)
+        assert c.run([1, 0]) == [1, 1]
+        assert c.run([0, 0]) == [0, 0]
+
+    def test_ccx(self):
+        c = ReversibleCircuit(3).ccx(0, 1, 2)
+        assert c.run([1, 1, 0]) == [1, 1, 1]
+        assert c.run([1, 0, 0]) == [1, 0, 0]
+
+    def test_swap(self):
+        c = ReversibleCircuit(2).swap(0, 1)
+        assert c.run([1, 0]) == [0, 1]
+
+    def test_inverse_undoes(self):
+        c = ReversibleCircuit(3).ccx(0, 1, 2).cx(0, 1).x(2)
+        full = ReversibleCircuit(3).extend(c).extend(c.inverse())
+        for value in range(8):
+            bits = [(value >> i) & 1 for i in range(3)]
+            assert full.run(bits) == bits
+
+    def test_repeated_target_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("CX", (1, 1))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ReversibleCircuit(2).cx(0, 2)
+
+    def test_toffoli_depth_sequential(self):
+        c = ReversibleCircuit(3).ccx(0, 1, 2).ccx(0, 1, 2)
+        assert c.toffoli_depth() == 2
+
+    def test_toffoli_depth_parallel(self):
+        c = ReversibleCircuit(6).ccx(0, 1, 2).ccx(3, 4, 5)
+        assert c.toffoli_depth() == 1
+
+    def test_register_file_roundtrip(self):
+        regs = RegisterFile({"a": 4, "b": 3})
+        state = regs.encode({"a": 9, "b": 5})
+        assert regs.decode(state, "a") == 9
+        assert regs.decode(state, "b") == 5
+
+    def test_register_overflow_rejected(self):
+        regs = RegisterFile({"a": 3})
+        with pytest.raises(ValueError):
+            regs.encode({"a": 8})
+
+
+class TestCuccaroAdder:
+    @given(st.integers(1, 10), st.data())
+    @settings(max_examples=60)
+    def test_addition_correct(self, width, data):
+        a = data.draw(st.integers(0, 2**width - 1))
+        b = data.draw(st.integers(0, 2**width - 1))
+        cin = data.draw(st.integers(0, 1))
+        total = a + b + cin
+        s, cout = add(width, a, b, cin)
+        assert s == total % 2**width
+        assert cout == total >> width
+
+    def test_preserves_a(self):
+        width = 6
+        regs = registers(width)
+        circuit = cuccaro_adder(width)
+        state = circuit.run(regs.encode({"a": 45, "b": 18}))
+        assert regs.decode(state, "a") == 45
+
+    def test_toffoli_count_is_2n(self):
+        assert cuccaro_adder(8).toffoli_count() == 16
+        assert AdderSpec(8).toffoli_count == 16
+
+    def test_toffoli_depth_is_sequential(self):
+        assert cuccaro_adder(8).toffoli_depth() == AdderSpec(8).toffoli_depth
+
+    def test_width_zero_rejected(self):
+        with pytest.raises(ValueError):
+            AdderSpec(0)
+
+
+class TestRunways:
+    def test_paper_configuration(self):
+        rw = RunwayConfig(2048, 96, 43)
+        assert rw.num_segments == 22
+        assert rw.num_runways == 21
+        assert rw.padded_width == 2048 + 21 * 43
+        assert rw.toffoli_depth == 2 * (96 + 43)
+
+    def test_single_segment_no_runways(self):
+        rw = RunwayConfig(64, 128, 43)
+        assert rw.num_segments == 1
+        assert rw.num_runways == 0
+        assert rw.toffoli_depth == 2 * 64
+
+    def test_runway_error_decays_with_padding(self):
+        thin = RunwayConfig(2048, 96, 10)
+        thick = RunwayConfig(2048, 96, 43)
+        assert thick.runway_error_per_addition() < thin.runway_error_per_addition()
+
+    def test_minimum_padding_meets_budget(self):
+        pad = minimum_padding(1.05e6, 0.01, 21)
+        assert 21 * 1.05e6 * 2.0**-pad <= 0.01
+        assert 21 * 1.05e6 * 2.0 ** (-(pad - 1)) > 0.01
+
+    def test_minimum_padding_paper_scale(self):
+        # Paper's r_pad = 43 corresponds to a harsh (~1e-6) runway budget.
+        assert minimum_padding(1.05e6, 2e-6, 21) in range(40, 48)
+
+
+class TestWindowed:
+    def paper_config(self):
+        return WindowedExpConfig(
+            2048, ekera_hastad_exponent_bits(2048), 3, 4, RunwayConfig(2048, 96, 43)
+        )
+
+    def test_lookup_additions_match_paper(self):
+        # Paper Sec. IV.2: ~1.07e6 lookup-additions.
+        cfg = self.paper_config()
+        assert cfg.num_lookup_additions == pytest.approx(1.07e6, rel=0.05)
+
+    def test_total_ccz_matches_paper(self):
+        # Paper Sec. III.6: ~3e9 CCZ gates.
+        cfg = self.paper_config()
+        assert cfg.total_ccz == pytest.approx(3e9, rel=0.15)
+
+    def test_lookup_entries(self):
+        assert self.paper_config().lookup_entries == 128
+
+    def test_exponent_length(self):
+        assert ekera_hastad_exponent_bits(2048) == 3072
+
+    def test_larger_windows_fewer_lookups(self):
+        small = self.paper_config()
+        big = WindowedExpConfig(
+            2048, 3072, 5, 5, RunwayConfig(2048, 96, 43)
+        )
+        assert big.num_lookup_additions < small.num_lookup_additions
+        assert big.lookup_entries > small.lookup_entries
+
+
+class TestMajAndTiming:
+    def test_max_move_bounded_by_sqrt2_d(self):
+        layout = MajBlockLayout(27)
+        assert layout.max_move_sites() <= math.sqrt(2) * 27 + 1e-9
+        assert layout.max_move_is_sqrt2_d()
+
+    def test_footprint_3x2(self):
+        assert MajBlockLayout(27).footprint_tiles == (3, 2)
+
+    def test_schedule_is_aod_valid(self):
+        # Constructing the schedule validates every batch move.
+        schedule = MajBlockLayout(11).schedule()
+        assert schedule.move_count() > 0
+
+    def test_addition_time_matches_paper(self):
+        # Paper Sec. IV.2: each addition takes 0.28 s.
+        timing = AdditionTiming(RunwayConfig(2048, 96, 43), 27)
+        assert timing.duration == pytest.approx(0.28, abs=0.02)
+
+    def test_ccz_consumption_rate(self):
+        timing = AdditionTiming(RunwayConfig(2048, 96, 43), 27)
+        assert timing.ccz_per_step == 22
+        assert timing.ccz_consumption_rate == pytest.approx(22 / 1e-3, rel=0.05)
+
+    def test_step_time_reaction_limited(self):
+        timing = AdditionTiming(RunwayConfig(2048, 96, 43), 27, PhysicalParams())
+        assert timing.step_time >= PhysicalParams().reaction_time

@@ -1,0 +1,164 @@
+"""Tests for atom-array geometry, AOD constraints, scheduling and zones."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.atoms.aod import AODViolation, BatchMove, Move, interleave_patches, shift_batch
+from repro.atoms.geometry import Region, euclidean_sites, interleaved_distance, patch_region
+from repro.atoms.scheduler import MoveSchedule, ScheduleStep, round_trip
+from repro.atoms.zones import ZonePlan, ZoneSpec, factoring_zone_plan
+from repro.core.params import PhysicalParams
+
+PHYS = PhysicalParams()
+
+
+class TestGeometry:
+    def test_euclidean(self):
+        assert euclidean_sites((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_region_sites(self):
+        r = Region(1, 2, 2, 3)
+        assert r.num_sites == 6
+        assert len(list(r.sites())) == 6
+        assert r.contains((2, 4))
+        assert not r.contains((3, 2))
+
+    def test_region_overlap(self):
+        a = Region(0, 0, 3, 3)
+        assert a.overlaps(Region(2, 2, 3, 3))
+        assert not a.overlaps(Region(3, 0, 1, 3))
+
+    def test_region_shift(self):
+        assert Region(0, 0, 2, 2).shifted(5, 1).corner == (5, 1)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, 0, 2)
+
+    def test_patch_region(self):
+        assert patch_region((0, 0), 27).num_sites == 27 * 27
+
+    def test_interleave_distance_is_d(self):
+        assert interleaved_distance(27) == 27.0
+
+
+class TestAODConstraints:
+    def test_rigid_shift_valid(self):
+        batch = shift_batch([(0, 0), (0, 1), (1, 0)], 5, 5)
+        batch.validate()  # must not raise
+
+    def test_duplicate_source_rejected(self):
+        batch = BatchMove([Move((0, 0), (1, 0)), Move((0, 0), (2, 0))])
+        with pytest.raises(AODViolation):
+            batch.validate()
+
+    def test_merge_rejected(self):
+        batch = BatchMove([Move((0, 0), (1, 0)), Move((2, 0), (1, 1))])
+        with pytest.raises(AODViolation):
+            batch.validate()
+
+    def test_row_crossing_rejected(self):
+        batch = BatchMove([Move((0, 0), (3, 0)), Move((2, 1), (1, 1))])
+        with pytest.raises(AODViolation):
+            batch.validate()
+
+    def test_inconsistent_row_shift_rejected(self):
+        batch = BatchMove([Move((0, 0), (1, 0)), Move((0, 5), (2, 5))])
+        with pytest.raises(AODViolation):
+            batch.validate()
+
+    def test_different_rows_may_shift_differently(self):
+        batch = BatchMove([Move((0, 0), (1, 0)), Move((5, 0), (7, 0))])
+        batch.validate()
+
+    def test_duration_uses_longest_move(self):
+        batch = BatchMove([Move((0, 0), (0, 1)), Move((5, 3), (5, 12))])
+        expected = BatchMove([Move((5, 3), (5, 12))]).duration(PHYS)
+        assert batch.duration(PHYS) == pytest.approx(expected)
+
+    def test_empty_batch_instant(self):
+        assert BatchMove([]).duration(PHYS) == 0.0
+
+    def test_interleave_patches_valid_and_bounded(self):
+        batch = interleave_patches((0, 0), (0, 5), 5)
+        batch.validate()
+        assert batch.max_length_sites == pytest.approx(5.0)
+
+    @given(st.integers(-20, 20), st.integers(-20, 20))
+    def test_rigid_shifts_always_valid(self, dr, dc):
+        sources = [(r, c) for r in range(3) for c in range(3)]
+        shift_batch(sources, dr, dc).validate()
+
+
+class TestMoveSchedule:
+    def test_round_trip_duration(self):
+        schedule = round_trip("gate", [(0, 0), (0, 1)], 0, 3)
+        one_way = BatchMove([Move((0, 0), (0, 3))]).duration(PHYS)
+        expected = 2 * one_way + PHYS.gate_time
+        assert schedule.duration(PHYS) == pytest.approx(expected)
+
+    def test_max_move_sites(self):
+        schedule = round_trip("gate", [(0, 0)], 3, 4)
+        assert schedule.max_move_sites == pytest.approx(5.0)
+
+    def test_measurement_step(self):
+        schedule = MoveSchedule()
+        schedule.add_measurement("readout", count=10)
+        assert schedule.duration(PHYS) == pytest.approx(PHYS.measure_time)
+
+    def test_gate_only_step(self):
+        schedule = MoveSchedule()
+        schedule.add_gates("pulse", 3)
+        assert schedule.duration(PHYS) == pytest.approx(3 * PHYS.gate_time)
+
+    def test_invalid_batch_rejected_on_add(self):
+        schedule = MoveSchedule()
+        bad = BatchMove([Move((0, 0), (1, 0)), Move((0, 1), (2, 1))])
+        with pytest.raises(AODViolation):
+            schedule.add_move("bad", bad)
+
+    def test_move_count(self):
+        schedule = round_trip("gate", [(0, 0)], 1, 0)
+        assert schedule.move_count() == 2
+
+
+class TestZones:
+    def test_storage_denser_than_compute(self):
+        storage = ZoneSpec("s", "storage", 10, 27)
+        compute = ZoneSpec("c", "compute", 10, 27)
+        assert storage.num_atoms < compute.num_atoms
+        assert storage.atoms_per_logical() == 27 * 27
+        assert compute.atoms_per_logical() == 2 * 27 * 27 - 1
+
+    def test_plan_totals(self):
+        plan = factoring_zone_plan(100, 10, 4, 12, 27)
+        roles = plan.atoms_by_role()
+        assert roles["storage"] == 100 * 27 * 27
+        assert plan.total_atoms == sum(roles.values())
+
+    def test_duplicate_zone_rejected(self):
+        plan = ZonePlan()
+        plan.add(ZoneSpec("a", "storage", 1, 27))
+        with pytest.raises(ValueError):
+            plan.add(ZoneSpec("a", "compute", 1, 27))
+
+    def test_zone_lookup(self):
+        plan = factoring_zone_plan(1, 1, 1, 1, 27)
+        assert plan.zone("registers").role == "storage"
+        with pytest.raises(KeyError):
+            plan.zone("missing")
+
+    def test_layout_bands_stack_without_overlap(self):
+        plan = factoring_zone_plan(100, 10, 4, 12, 27)
+        regions = list(plan.layout(sites_per_row=1000).values())
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_layout_capacity_sufficient(self):
+        plan = factoring_zone_plan(100, 10, 4, 12, 27)
+        for name, region in plan.layout(sites_per_row=1000).items():
+            assert region.num_sites >= plan.zone(name).num_atoms

@@ -1,0 +1,142 @@
+"""Tests for Pauli-string algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes.pauli import Pauli, commutation_matrix, mutually_commuting, pauli
+
+
+def random_pauli_strategy(n: int):
+    return st.tuples(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+    ).map(lambda xz: Pauli(xz[0], xz[1]))
+
+
+class TestConstruction:
+    def test_from_string(self):
+        p = Pauli.from_string("XIZY")
+        assert list(p.x) == [1, 0, 0, 1]
+        assert list(p.z) == [0, 0, 1, 1]
+
+    def test_from_string_with_sign(self):
+        assert Pauli.from_string("-X").phase_power == 2
+        assert Pauli.from_string("iZ").phase_power == 1
+        assert Pauli.from_string("-iY").phase_power == 3
+        assert Pauli.from_string("+X").phase_power == 0
+
+    def test_invalid_char_rejected(self):
+        with pytest.raises(ValueError):
+            Pauli.from_string("XQ")
+
+    def test_sparse_constructor(self):
+        p = pauli(5, xs=[0, 2], zs=[2, 4])
+        assert repr(p) == "+XIYIZ"
+
+    def test_sparse_out_of_range(self):
+        with pytest.raises(ValueError):
+            pauli(3, xs=[3])
+
+    def test_identity(self):
+        p = Pauli.identity(4)
+        assert p.is_identity()
+        assert p.weight == 0
+
+    def test_weight_and_support(self):
+        p = Pauli.from_string("XIYZI")
+        assert p.weight == 3
+        assert p.support == (0, 2, 3)
+
+
+class TestCommutation:
+    def test_x_z_anticommute(self):
+        x = Pauli.from_string("X")
+        z = Pauli.from_string("Z")
+        assert not x.commutes_with(z)
+
+    def test_xx_zz_commute(self):
+        assert Pauli.from_string("XX").commutes_with(Pauli.from_string("ZZ"))
+
+    def test_disjoint_support_commutes(self):
+        assert Pauli.from_string("XII").commutes_with(Pauli.from_string("IZZ"))
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Pauli.from_string("X").commutes_with(Pauli.from_string("XX"))
+
+    @given(random_pauli_strategy(6), random_pauli_strategy(6))
+    def test_commutation_symmetric(self, p, q):
+        assert p.commutes_with(q) == q.commutes_with(p)
+
+    @given(random_pauli_strategy(5))
+    def test_self_commutes(self, p):
+        assert p.commutes_with(p)
+
+
+class TestProduct:
+    def test_x_times_z_is_minus_iy(self):
+        prod = Pauli.from_string("X") * Pauli.from_string("Z")
+        assert prod.equal_up_to_phase(Pauli.from_string("Y"))
+        assert prod.phase_power == 3  # XZ = -iY
+
+    def test_z_times_x_is_plus_iy(self):
+        prod = Pauli.from_string("Z") * Pauli.from_string("X")
+        assert prod.phase_power == 1  # ZX = iY
+
+    def test_y_squared_is_identity(self):
+        prod = Pauli.from_string("Y") * Pauli.from_string("Y")
+        assert prod.is_identity()
+
+    def test_xy_product(self):
+        # XY = iZ
+        prod = Pauli.from_string("X") * Pauli.from_string("Y")
+        assert prod.equal_up_to_phase(Pauli.from_string("Z"))
+        assert prod.phase_power == 1
+
+    @given(random_pauli_strategy(4))
+    def test_square_is_identity(self, p):
+        # Every Hermitian Pauli squares to +I (Y^2 = (iXZ)^2 = +I).
+        sq = p * p
+        assert sq.is_identity()
+
+    @given(random_pauli_strategy(5), random_pauli_strategy(5))
+    def test_product_support_is_xor(self, p, q):
+        prod = p * q
+        assert np.array_equal(prod.x, p.x ^ q.x)
+        assert np.array_equal(prod.z, p.z ^ q.z)
+
+    @given(random_pauli_strategy(4), random_pauli_strategy(4))
+    def test_commute_iff_products_equal(self, p, q):
+        pq = p * q
+        qp = q * p
+        assert pq.equal_up_to_phase(qp)
+        if p.commutes_with(q):
+            assert pq.phase_power == qp.phase_power
+        else:
+            assert (pq.phase_power - qp.phase_power) % 4 == 2
+
+    @given(random_pauli_strategy(4), random_pauli_strategy(4), random_pauli_strategy(4))
+    def test_associative(self, p, q, r):
+        assert (p * q) * r == p * (q * r)
+
+
+class TestGroupHelpers:
+    def test_commutation_matrix(self):
+        group = [Pauli.from_string("XX"), Pauli.from_string("ZZ"), Pauli.from_string("ZI")]
+        mat = commutation_matrix(group)
+        assert mat[0, 1] == 0
+        assert mat[0, 2] == 1
+        assert np.array_equal(mat, mat.T)
+
+    def test_mutually_commuting(self):
+        stabilizers = [Pauli.from_string("XXXX"), Pauli.from_string("ZZII"), Pauli.from_string("IIZZ")]
+        assert mutually_commuting(stabilizers)
+        assert not mutually_commuting([Pauli.from_string("XI"), Pauli.from_string("ZI")])
+
+    def test_hash_consistency(self):
+        a = Pauli.from_string("XZ")
+        b = pauli(2, xs=[0], zs=[1])
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,146 @@
+"""Tests for the transversal logical-error model (Eqs. 2-6)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import logical_error as le
+from repro.core.params import ErrorParams
+
+ERR = ErrorParams()
+
+
+class TestMemoryError:
+    def test_eq2_value_d3(self):
+        # C * (1/Lambda)^2 = 0.1 * 0.01 = 1e-3 for d = 3, Lambda = 10.
+        assert le.memory_error_per_round(3, ERR) == pytest.approx(1e-3)
+
+    def test_eq2_value_d27(self):
+        assert le.memory_error_per_round(27, ERR) == pytest.approx(0.1 * 10**-14)
+
+    def test_incrementing_d_by_2_gains_lambda(self):
+        p5 = le.memory_error_per_round(5, ERR)
+        p7 = le.memory_error_per_round(7, ERR)
+        assert p5 / p7 == pytest.approx(ERR.lam)
+
+    def test_bad_distance_rejected(self):
+        with pytest.raises(ValueError):
+            le.memory_error_per_round(0, ERR)
+
+    @given(st.integers(min_value=3, max_value=51).filter(lambda d: d % 2 == 1))
+    def test_monotone_decreasing_in_distance(self, d):
+        assert le.memory_error_per_round(d + 2, ERR) < le.memory_error_per_round(d, ERR)
+
+
+class TestWeightedError:
+    def test_reduces_to_memory_with_single_source(self):
+        # A single source at p_phys with weight 1 reproduces Eq. (2).
+        p = le.weighted_error_per_round(9, ERR, [ERR.p_phys], [1.0])
+        assert p == pytest.approx(le.memory_error_per_round(9, ERR))
+
+    def test_weights_scale_effective_rate(self):
+        base = le.weighted_error_per_round(9, ERR, [ERR.p_phys], [1.0])
+        heavier = le.weighted_error_per_round(9, ERR, [ERR.p_phys], [2.0])
+        assert heavier == pytest.approx(base * 2 ** ((9 + 1) / 2))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            le.weighted_error_per_round(9, ERR, [1e-3], [1.0, 2.0])
+
+
+class TestTransversalCnotError:
+    def test_memory_limit_at_small_x(self):
+        # As x -> 0 the per-CNOT error approaches 2/x rounds of memory error.
+        x = 1e-4
+        got = le.transversal_cnot_error(15, ERR, x)
+        expected = (2.0 / x) * le.memory_error_per_round(15, ERR)
+        assert got == pytest.approx(expected, rel=1e-2)
+
+    def test_elevated_noise_at_x1(self):
+        # At one CNOT per round the base becomes (alpha + 1)/Lambda.
+        got = le.transversal_cnot_error(11, ERR, 1.0)
+        base = (ERR.alpha + 1.0) / ERR.lam
+        assert got == pytest.approx(2 * ERR.prefactor_c * base**6)
+
+    def test_nonpositive_x_rejected(self):
+        with pytest.raises(ValueError):
+            le.transversal_cnot_error(11, ERR, 0.0)
+
+    @given(st.floats(min_value=0.05, max_value=8.0))
+    def test_positive(self, x):
+        assert le.transversal_cnot_error(21, ERR, x) > 0
+
+
+class TestEffectiveThreshold:
+    def test_alpha_one_sixth_gives_0p86_percent(self):
+        # Paper: consistent with the >= 0.87% threshold of Ref. [17].
+        assert le.effective_threshold(ERR, 1.0) == pytest.approx(0.0086, rel=0.01)
+
+    def test_alpha_one_half_gives_0p67_percent(self):
+        err = ERR.rescaled(alpha=0.5)
+        assert le.effective_threshold(err, 1.0) == pytest.approx(0.0067, rel=0.01)
+
+    def test_no_gates_recovers_bare_threshold(self):
+        assert le.effective_threshold(ERR, 0.0) == pytest.approx(ERR.p_thres)
+
+    def test_monotone_decreasing_in_x(self):
+        thresholds = [le.effective_threshold(ERR, x) for x in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert thresholds == sorted(thresholds, reverse=True)
+
+
+class TestRequiredDistance:
+    def test_paper_regime_near_d27(self):
+        # Target ~1e-12 per CNOT per qubit at 1 CNOT/round: paper picks d=27.
+        d = le.required_distance(1e-12, ERR, 1.0)
+        assert d in (23, 25, 27)
+
+    def test_meets_target(self):
+        d = le.required_distance(1e-12, ERR, 1.0)
+        assert le.transversal_cnot_error(d, ERR, 1.0) <= 1e-12
+        assert le.transversal_cnot_error(d - 2, ERR, 1.0) > 1e-12
+
+    def test_odd(self):
+        for target in (1e-6, 1e-9, 1e-12, 1e-15):
+            assert le.required_distance(target, ERR, 1.0) % 2 == 1
+
+    def test_above_threshold_rejected(self):
+        hot = ErrorParams(p_phys=2e-2)
+        with pytest.raises(ValueError):
+            le.required_distance(1e-12, hot, 1.0)
+
+    def test_memory_variant(self):
+        d = le.required_distance_memory(1e-12, ERR)
+        assert le.memory_error_per_round(d, ERR) <= 1e-12
+        assert d % 2 == 1
+
+    @given(st.floats(min_value=0.1, max_value=4.0))
+    def test_distance_grows_with_gate_rate(self, x):
+        assert le.required_distance(1e-12, ERR, x) >= le.required_distance(1e-12, ERR, 0.05)
+
+
+class TestCnotVolume:
+    def test_finite_below_threshold(self):
+        assert math.isfinite(le.cnot_spacetime_volume(1.0, ERR))
+
+    def test_infinite_above_effective_threshold(self):
+        hot = ErrorParams(p_phys=1.2e-2)
+        assert le.cnot_spacetime_volume(1.0, hot) == math.inf
+
+    def test_optimum_at_one_or_more_cnots_per_round(self):
+        # Paper Fig. 6(b): optimal SE rounds per CNOT is <= 1 at p = 1e-3.
+        best = le.optimal_cnots_per_round(ERR)
+        assert best >= 1.0
+
+    def test_sparser_se_wins_at_high_noise(self):
+        # Close to threshold, diluting the gate noise (x < 1) pays off.
+        hot = ErrorParams(p_phys=8e-3)
+        best = le.optimal_cnots_per_round(hot)
+        assert best <= 0.5
+
+    def test_volume_shape_has_interior_minimum(self):
+        xs = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0]
+        vols = [le.cnot_spacetime_volume(x, ERR) for x in xs]
+        best = min(range(len(xs)), key=lambda i: vols[i])
+        assert 0 < best  # not minimized by the sparsest extreme

@@ -1,0 +1,91 @@
+"""Tests for the movement-time law (Eq. 1) and derived patch-move times."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import movement
+from repro.core.params import PhysicalParams
+
+PHYS = PhysicalParams()
+
+
+class TestMoveTime:
+    def test_eq1_formula(self):
+        # 55 um in 200 us calibrates the paper's acceleration (Table I note).
+        t = movement.move_time(55e-6, 5500.0)
+        assert t == pytest.approx(200e-6, rel=0.01)
+
+    def test_zero_distance(self):
+        assert movement.move_time(0.0, 5500.0) == 0.0
+
+    def test_one_site_hop_is_about_93us(self):
+        t = movement.move_time_sites(1.0, PHYS)
+        assert t == pytest.approx(93e-6, rel=0.02)
+
+    def test_patch_move_d27_is_about_500us(self):
+        # Paper Sec. IV.2: moving a patch across one logical pitch ~ 500 us.
+        t = movement.patch_move_time(27, PHYS)
+        assert t == pytest.approx(485e-6, rel=0.02)
+        assert abs(t - PHYS.measure_time) / PHYS.measure_time < 0.05
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            movement.move_time(-1e-6, 5500.0)
+
+    def test_nonpositive_acceleration_rejected(self):
+        with pytest.raises(ValueError):
+            movement.move_time(1e-6, 0.0)
+
+    @given(st.floats(min_value=1e-9, max_value=1.0))
+    def test_sqrt_scaling(self, distance):
+        # Quadrupling the distance doubles the time.
+        t1 = movement.move_time(distance, 5500.0)
+        t2 = movement.move_time(4 * distance, 5500.0)
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    @given(
+        st.floats(min_value=1e-9, max_value=1.0),
+        st.floats(min_value=100.0, max_value=1e5),
+    )
+    def test_roundtrip_with_max_distance(self, distance, acceleration):
+        t = movement.move_time(distance, acceleration)
+        back = movement.max_move_distance(t, acceleration)
+        assert back == pytest.approx(distance, rel=1e-9)
+
+    @given(st.floats(min_value=1e-9, max_value=1.0), st.floats(min_value=1e-9, max_value=1.0))
+    def test_monotonic_in_distance(self, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert movement.move_time(lo, 5500.0) <= movement.move_time(hi, 5500.0)
+
+
+class TestBatchMove:
+    def test_batch_takes_longest_move(self):
+        distances = [1e-6, 5e-6, 25e-6]
+        t = movement.batch_move_time(distances, 5500.0)
+        assert t == pytest.approx(movement.move_time(25e-6, 5500.0))
+
+    def test_empty_batch_is_instant(self):
+        assert movement.batch_move_time([], 5500.0) == 0.0
+
+    def test_batch_of_equal_moves(self):
+        t_single = movement.move_time(12e-6, 5500.0)
+        t_batch = movement.batch_move_time([12e-6] * 100, 5500.0)
+        assert t_batch == pytest.approx(t_single)
+
+
+class TestMaxMoveDistance:
+    def test_inverse_of_move_time(self):
+        d = movement.max_move_distance(200e-6, 5500.0)
+        assert d == pytest.approx(55e-6, rel=0.01)
+
+    def test_faster_acceleration_covers_more(self):
+        slow = movement.max_move_distance(1e-4, 5500.0)
+        fast = movement.max_move_distance(1e-4, 11000.0)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            movement.max_move_distance(-1.0, 5500.0)

@@ -1,0 +1,77 @@
+"""Tests for repro.core.params (paper Table I constants)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.params import (
+    DEFAULT_CONFIG,
+    ArchitectureConfig,
+    ErrorParams,
+    PhysicalParams,
+)
+
+
+class TestPhysicalParams:
+    def test_table_i_defaults(self):
+        p = PhysicalParams()
+        assert p.site_spacing == pytest.approx(12e-6)
+        assert p.acceleration == pytest.approx(5500.0)
+        assert p.gate_time == pytest.approx(1e-6)
+        assert p.measure_time == pytest.approx(500e-6)
+        assert p.decode_time == pytest.approx(500e-6)
+
+    def test_reaction_time_is_measure_plus_decode(self):
+        p = PhysicalParams()
+        assert p.reaction_time == pytest.approx(1e-3)
+
+    def test_rescaled_changes_one_field(self):
+        p = PhysicalParams().rescaled(acceleration=11000.0)
+        assert p.acceleration == 11000.0
+        assert p.site_spacing == pytest.approx(12e-6)
+
+    def test_rescaled_returns_new_object(self):
+        p = PhysicalParams()
+        q = p.rescaled(measure_time=1e-4)
+        assert p.measure_time == pytest.approx(500e-6)
+        assert q.measure_time == pytest.approx(1e-4)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PhysicalParams().gate_time = 2e-6
+
+
+class TestErrorParams:
+    def test_lambda_is_threshold_over_physical(self):
+        e = ErrorParams(p_phys=1e-3, p_thres=1e-2)
+        assert e.lam == pytest.approx(10.0)
+
+    def test_default_alpha_is_one_sixth(self):
+        assert ErrorParams().alpha == pytest.approx(1.0 / 6.0)
+
+    def test_default_prefactor(self):
+        assert ErrorParams().prefactor_c == pytest.approx(0.1)
+
+    def test_rescaled_alpha(self):
+        e = ErrorParams().rescaled(alpha=0.5)
+        assert e.alpha == 0.5
+        assert e.p_phys == pytest.approx(1e-3)
+
+    def test_lambda_scales_with_physical_rate(self):
+        better = ErrorParams(p_phys=5e-4)
+        assert better.lam == pytest.approx(20.0)
+
+
+class TestArchitectureConfig:
+    def test_defaults(self):
+        c = ArchitectureConfig()
+        assert c.se_rounds_per_gate == 1.0
+        assert c.storage_se_period == pytest.approx(8e-3)
+
+    def test_default_config_singleton_usable(self):
+        assert DEFAULT_CONFIG.physical.reaction_time == pytest.approx(1e-3)
+
+    def test_rescaled_nested(self):
+        c = ArchitectureConfig().rescaled(storage_se_period=4e-3)
+        assert c.storage_se_period == pytest.approx(4e-3)
+        assert c.physical.acceleration == pytest.approx(5500.0)

@@ -1,0 +1,168 @@
+"""Tests for timing model, volume accounting and idle-SE optimization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import idle
+from repro.core.params import ErrorParams, PhysicalParams
+from repro.core.timing import TimingModel
+from repro.core.volume import ResourceEstimate, SpaceTime, VolumeLedger, peak_footprint
+
+PHYS = PhysicalParams()
+ERR = ErrorParams()
+
+
+class TestTimingModel:
+    def test_se_active_time_is_about_400us(self):
+        # Paper Sec. IV.2: "gates in a QEC cycle taking around 400 us".
+        tm = TimingModel()
+        active = 4 * (tm.se_move_time + PHYS.gate_time)
+        assert active == pytest.approx(400e-6, rel=0.1)
+
+    def test_se_round_pipelined_against_measurement(self):
+        tm = TimingModel()
+        assert tm.se_round_time == pytest.approx(500e-6, rel=0.01)
+
+    def test_logical_gate_time_d27_about_1ms(self):
+        tm = TimingModel()
+        t = tm.logical_gate_time(27)
+        assert 0.8e-3 < t < 1.2e-3
+
+    def test_reaction_limited_step(self):
+        tm = TimingModel()
+        assert tm.reaction_limited_step(27) >= tm.reaction_time
+
+    def test_faster_acceleration_shortens_gate(self):
+        fast = TimingModel(PHYS.rescaled(acceleration=4 * 5500.0))
+        slow = TimingModel()
+        assert fast.logical_gate_time(27) <= slow.logical_gate_time(27)
+
+    def test_storage_round_equals_se_round(self):
+        tm = TimingModel()
+        assert tm.storage_round_time() == tm.se_round_time
+
+
+class TestSpaceTime:
+    def test_volume(self):
+        assert SpaceTime(100.0, 2.0).volume == pytest.approx(200.0)
+
+    def test_scaled_multiplies_qubits(self):
+        st_block = SpaceTime(10.0, 3.0).scaled(4)
+        assert st_block.qubits == 40.0
+        assert st_block.seconds == 3.0
+
+    def test_repeated_multiplies_time(self):
+        st_block = SpaceTime(10.0, 3.0).repeated(5)
+        assert st_block.seconds == 15.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceTime(-1.0, 1.0)
+
+    @given(st.floats(min_value=0, max_value=1e9), st.floats(min_value=0, max_value=1e6))
+    def test_volume_nonnegative(self, q, t):
+        assert SpaceTime(q, t).volume >= 0
+
+
+class TestVolumeLedger:
+    def test_accumulates_per_component(self):
+        ledger = VolumeLedger()
+        ledger.add("storage", SpaceTime(100, 1))
+        ledger.add("storage", SpaceTime(100, 2))
+        ledger.add("factories", SpaceTime(50, 1))
+        assert ledger.entries["storage"] == pytest.approx(300)
+        assert ledger.total == pytest.approx(350)
+
+    def test_fractions_sum_to_one(self):
+        ledger = VolumeLedger()
+        ledger.add_volume("a", 30)
+        ledger.add_volume("b", 70)
+        fracs = ledger.fractions()
+        assert sum(fracs.values()) == pytest.approx(1.0)
+        assert fracs["b"] == pytest.approx(0.7)
+
+    def test_empty_fractions(self):
+        assert VolumeLedger().fractions() == {}
+
+    def test_merged(self):
+        a = VolumeLedger({"x": 1.0})
+        b = VolumeLedger({"x": 2.0, "y": 3.0})
+        merged = a.merged(b)
+        assert merged.entries == {"x": 3.0, "y": 3.0}
+        assert a.entries == {"x": 1.0}  # original untouched
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            VolumeLedger().add_volume("a", -1)
+
+
+class TestResourceEstimate:
+    def test_unit_conversions(self):
+        est = ResourceEstimate(physical_qubits=19e6, runtime_seconds=5.6 * 86400)
+        assert est.megaqubits == pytest.approx(19.0)
+        assert est.runtime_days == pytest.approx(5.6)
+        assert est.megaqubit_days == pytest.approx(19 * 5.6)
+
+    def test_peak_footprint(self):
+        assert peak_footprint([1.0, 5.0, 3.0]) == 5.0
+
+    def test_peak_footprint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            peak_footprint([1.0, -2.0])
+
+
+class TestIdleOptimization:
+    def test_rate_optimum_in_sub_millisecond_range(self):
+        opt = idle.optimal_storage_period(27, ERR, PHYS)
+        assert 2e-4 < opt.period < 5e-3
+
+    def test_volume_optimum_in_paper_basin(self):
+        # Paper operates at 8 ms; the volume-based optimum (Fig. 11(c))
+        # sits in the flat several-to-tens-of-ms basin.
+        opt = idle.optimal_storage_period_volume(ERR, PHYS)
+        assert 2e-3 < opt.period < 4e-2
+
+    def test_volume_basin_is_flat(self):
+        # Cost within the 8-30 ms basin varies by < 2x (Fig. 11(c) shape).
+        def cost(period):
+            for d in range(3, 201, 2):
+                if idle.storage_error_rate(d, period, ERR, PHYS) <= 1e-13:
+                    return d * d / period
+            raise AssertionError("target unreachable")
+        costs = [cost(p) for p in (8e-3, 16e-3, 30e-3)]
+        assert max(costs) / min(costs) < 2.0
+
+    def test_optimum_nearly_distance_independent(self):
+        # Paper Fig. 11(c): optimal frequency largely independent of d.
+        p15 = idle.optimal_storage_period(15, ERR, PHYS).period
+        p31 = idle.optimal_storage_period(31, ERR, PHYS).period
+        assert 0.3 < p15 / p31 < 3.0
+
+    def test_idle_error_comparable_to_gate_error_at_optimum(self):
+        # Paper Fig. 11(d): optimum where idle ~ gate error (within ~an
+        # order of magnitude; the exact ratio is 1/(k-1)).
+        opt = idle.optimal_storage_period(27, ERR, PHYS)
+        ratio = opt.idle_error / opt.gate_error
+        assert 0.01 < ratio < 1.5
+
+    def test_analytic_matches_grid(self):
+        grid = idle.optimal_storage_period(27, ERR, PHYS).period
+        closed = idle.analytic_optimal_period(27, ERR, PHYS)
+        assert grid == pytest.approx(closed, rel=0.1)
+
+    def test_longer_coherence_allows_sparser_se(self):
+        short = idle.optimal_storage_period(27, ERR, PHYS.rescaled(coherence_time=1.0))
+        long = idle.optimal_storage_period(27, ERR, PHYS.rescaled(coherence_time=100.0))
+        assert long.period > short.period
+
+    def test_rate_has_interior_minimum(self):
+        opt = idle.optimal_storage_period(27, ERR, PHYS)
+        denser = idle.storage_error_rate(27, opt.period / 10, ERR, PHYS)
+        sparser = idle.storage_error_rate(27, opt.period * 10, ERR, PHYS)
+        assert denser > opt.error_rate
+        assert sparser > opt.error_rate
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            idle.storage_error_rate(27, 0.0, ERR, PHYS)

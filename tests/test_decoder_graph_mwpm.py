@@ -1,0 +1,116 @@
+"""Tests for decoding-graph construction and the MWPM decoder."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.graph import BOUNDARY, DecodingGraph, Edge
+from repro.decoder.mwpm import MWPMDecoder
+from repro.sim.frame import DetectorErrorModel, ErrorMechanism
+
+
+def simple_dem():
+    """A 1-D repetition-code-like DEM: chain of 3 detectors + boundaries."""
+    mechanisms = [
+        ErrorMechanism(0.01, (0,), (0,)),
+        ErrorMechanism(0.01, (0, 1), ()),
+        ErrorMechanism(0.01, (1, 2), ()),
+        ErrorMechanism(0.01, (2,), ()),
+    ]
+    return DetectorErrorModel(mechanisms, num_detectors=3, num_observables=1)
+
+
+class TestEdge:
+    def test_weight_positive_below_half(self):
+        assert Edge((0,), 0.01).weight > 0
+
+    def test_weight_monotone(self):
+        assert Edge((0,), 0.01).weight > Edge((0,), 0.1).weight
+
+
+class TestDecodingGraph:
+    def test_from_dem_counts(self):
+        graph = DecodingGraph.from_dem(simple_dem())
+        assert len(graph.edges) == 4
+
+    def test_boundary_edge_lookup(self):
+        graph = DecodingGraph.from_dem(simple_dem())
+        assert graph.edge_between(0, BOUNDARY) is not None
+        assert graph.edge_between(0, 1) is not None
+        assert graph.edge_between(0, 2) is None
+
+    def test_parallel_edges_merge(self):
+        dem = DetectorErrorModel(
+            [ErrorMechanism(0.1, (0, 1), ()), ErrorMechanism(0.1, (0, 1), ())],
+            2,
+            0,
+        )
+        graph = DecodingGraph.from_dem(dem)
+        assert len(graph.edges) == 1
+        assert graph.edges[0].probability == pytest.approx(0.18)
+
+    def test_hyperedge_decomposed_into_known_blocks(self):
+        mechanisms = [
+            ErrorMechanism(0.01, (0, 1), (0,)),
+            ErrorMechanism(0.01, (2, 3), (1,)),
+            ErrorMechanism(0.02, (0, 1, 2, 3), (0, 1)),
+        ]
+        dem = DetectorErrorModel(mechanisms, 4, 2)
+        graph = DecodingGraph.from_dem(dem)
+        edge01 = graph.edge_between(0, 1)
+        edge23 = graph.edge_between(2, 3)
+        assert edge01 is not None and edge23 is not None
+        # The composite merged into the two blocks, inheriting their obs.
+        assert edge01.observables == frozenset({0})
+        assert edge23.observables == frozenset({1})
+        assert edge01.probability == pytest.approx(0.01 + 0.02 - 2 * 0.01 * 0.02)
+
+    def test_undetectable_mechanism_ignored(self):
+        dem = DetectorErrorModel([ErrorMechanism(0.3, (), (0,))], 1, 1)
+        graph = DecodingGraph.from_dem(dem)
+        assert graph.edges == []
+
+    def test_three_detector_edge_rejected_directly(self):
+        graph = DecodingGraph(3, 0)
+        with pytest.raises(ValueError):
+            graph.add_mechanism((0, 1, 2), 0.1, frozenset())
+
+
+class TestMWPMDecoder:
+    def test_empty_syndrome_predicts_nothing(self):
+        decoder = MWPMDecoder(DecodingGraph.from_dem(simple_dem()))
+        assert not decoder.decode(np.zeros(3, dtype=np.uint8)).any()
+
+    def test_single_defect_matches_to_boundary(self):
+        decoder = MWPMDecoder(DecodingGraph.from_dem(simple_dem()))
+        syndrome = np.array([1, 0, 0], dtype=np.uint8)
+        # Matching detector 0 to the boundary crosses the observable edge.
+        assert decoder.decode(syndrome)[0] == 1
+
+    def test_pair_matches_internally(self):
+        decoder = MWPMDecoder(DecodingGraph.from_dem(simple_dem()))
+        syndrome = np.array([1, 1, 0], dtype=np.uint8)
+        # The (0,1) edge carries no observable: no logical flip predicted.
+        assert decoder.decode(syndrome)[0] == 0
+
+    def test_far_defect_prefers_other_boundary(self):
+        decoder = MWPMDecoder(DecodingGraph.from_dem(simple_dem()))
+        syndrome = np.array([0, 0, 1], dtype=np.uint8)
+        assert decoder.decode(syndrome)[0] == 0
+
+    def test_batch_decoding_shape(self):
+        decoder = MWPMDecoder(DecodingGraph.from_dem(simple_dem()))
+        out = decoder.decode_batch(np.zeros((5, 3), dtype=np.uint8))
+        assert out.shape == (5, 1)
+
+    def test_weighting_breaks_ties_toward_likelier_path(self):
+        mechanisms = [
+            ErrorMechanism(0.2, (0,), (0,)),  # cheap boundary with flip
+            ErrorMechanism(0.001, (0, 1), ()),
+            ErrorMechanism(0.2, (1,), ()),
+        ]
+        dem = DetectorErrorModel(mechanisms, 2, 1)
+        decoder = MWPMDecoder(DecodingGraph.from_dem(dem))
+        # Two defects: going through the middle edge is expensive; matching
+        # each to its boundary is cheaper and flips the observable once.
+        syndrome = np.array([1, 1], dtype=np.uint8)
+        assert decoder.decode(syndrome)[0] == 1

@@ -1,0 +1,142 @@
+"""Tests for the magic-state factory stack."""
+
+import math
+
+import pytest
+
+from repro.codes.color_832 import Color832Code
+from repro.core.params import PhysicalParams
+from repro.factory.cultivation import CultivationModel, required_t_error
+from repro.factory.layout import FactoryLayout
+from repro.factory.layout_synth import evaluate, synthesize_1d_layout
+from repro.factory.pipeline import size_fleet
+from repro.factory.t_to_ccz import (
+    DistillationCurve,
+    distilled_ccz_error,
+    factory_circuit,
+    factory_cnot_layers,
+    output_fidelity,
+    run_factory,
+)
+
+
+class TestCultivation:
+    def test_paper_anchor(self):
+        model = CultivationModel(7.7e-7, 27)
+        assert model.expected_volume_qubit_rounds == pytest.approx(1.5e4, rel=0.01)
+
+    def test_harder_targets_cost_more(self):
+        cheap = CultivationModel(1e-5, 27)
+        costly = CultivationModel(1e-8, 27)
+        assert costly.expected_volume_qubit_rounds > cheap.expected_volume_qubit_rounds
+
+    def test_required_t_error_paper_example(self):
+        # 5% budget over 3e9 CCZs -> 1.6e-11 per CCZ -> ~7.6e-7 per T.
+        per_t = required_t_error(1.6e-11)
+        assert per_t == pytest.approx(7.6e-7, rel=0.02)
+
+    def test_copies_fit_in_row(self):
+        assert 4 <= CultivationModel(7.7e-7, 27).copies_in_row() <= 12
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            CultivationModel(0.0, 27)
+
+
+class TestTToCCZ:
+    def test_clean_run_yields_ccz(self):
+        sim, accepted = run_factory()
+        assert accepted
+        assert output_fidelity(sim) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("vertex", range(8))
+    def test_every_single_fault_detected(self, vertex):
+        _, accepted = run_factory((vertex,))
+        assert not accepted
+
+    def test_double_fault_accepted_but_harmful(self):
+        sim, accepted = run_factory((1, 6))
+        assert accepted
+        assert output_fidelity(sim) < 0.5
+
+    def test_leading_coefficient_28(self):
+        assert DistillationCurve(Color832Code()).leading_coefficient() == 28
+
+    def test_exact_curve_matches_28p2_at_small_p(self):
+        curve = DistillationCurve(Color832Code())
+        for p in (1e-3, 1e-4):
+            assert curve.output_error(p) == pytest.approx(28 * p * p, rel=0.05)
+
+    def test_acceptance_near_one_at_small_p(self):
+        curve = DistillationCurve(Color832Code())
+        assert curve.acceptance_rate(1e-3) > 0.99
+
+    def test_pattern_classification_partition(self):
+        classes = DistillationCurve(Color832Code()).classify_patterns()
+        assert sum(len(v) for v in classes.values()) == 256
+        # Odd-weight = detected: 128 patterns.
+        assert len(classes["detected"]) == 128
+
+    def test_circuit_t_balance(self):
+        circuit = factory_circuit()
+        assert circuit.count("T") == 4
+        assert circuit.count("T_DAG") == 4
+
+    def test_eq8(self):
+        assert distilled_ccz_error(1e-5) == pytest.approx(2.8e-9)
+
+
+class TestFactoryLayoutAndFleet:
+    def test_footprint_tiles(self):
+        layout = FactoryLayout(27)
+        region = layout.region
+        assert region.width == 12 * 27
+        assert region.height == 4 * 27  # 3d stage + 1d cultivation row
+
+    def test_atoms_order_25k_at_d27(self):
+        assert 2e4 < FactoryLayout(27).num_atoms < 4e4
+
+    def test_cycle_time_milliseconds(self):
+        layout = FactoryLayout(27)
+        cultivation = CultivationModel(7.7e-7, 27)
+        assert 2e-3 < layout.cycle_time(cultivation) < 2e-2
+
+    def test_fleet_meets_consumption(self):
+        fleet = size_fleet(22000.0, 27, 1.6e-11)
+        assert fleet.production_rate >= 22000.0
+
+    def test_fleet_cap_respected(self):
+        fleet = size_fleet(1e9, 27, 1.6e-11, max_factories=192)
+        assert fleet.count == 192
+
+    def test_paper_scale_fleet(self):
+        # Addition-phase consumption (~22 CCZ/ms) with headroom lands near
+        # the paper's 192-factory ceiling.
+        fleet = size_fleet(22000.0 / 0.7, 27, 1.6e-11, max_factories=192)
+        assert 100 <= fleet.count <= 192
+
+
+class TestLayoutSynthesis:
+    def test_factory_instance_has_reorder_free_layout(self):
+        result = synthesize_1d_layout(factory_cnot_layers(), 11, seed=1)
+        max_dist, _total, valid = evaluate(result.order, factory_cnot_layers())
+        assert valid
+        assert max_dist == result.max_distance
+        assert result.max_distance <= 7
+
+    def test_identity_layout_evaluation(self):
+        layers = [[(0, 1)], [(1, 2)]]
+        max_dist, total, valid = evaluate([0, 1, 2], layers)
+        assert (max_dist, total, valid) == (1, 2, True)
+
+    def test_crossing_layer_detected(self):
+        # Moves 0->3 and 2->1 cross in one layer.
+        layers = [[(0, 3), (2, 1)]]
+        _max, _total, valid = evaluate([0, 1, 2, 3], layers)
+        assert not valid
+
+    def test_search_improves_on_bad_instance(self):
+        layers = [[(0, 5)], [(5, 1)], [(1, 4)]]
+        result = synthesize_1d_layout(layers, 6, seed=3)
+        identity_cost = evaluate(list(range(6)), layers)[0]
+        assert result.max_distance <= identity_cost

@@ -1,0 +1,129 @@
+"""Cross-module integration and property tests.
+
+These exercise seams between subsystems: gadget timings feeding the
+algorithm estimate, simulators cross-checking each other, and scaling
+behaviours the individual unit tests cannot see.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.factoring import FactoringParameters, estimate_factoring
+from repro.arithmetic.timing import AdditionTiming
+from repro.arithmetic.runways import RunwayConfig
+from repro.codes.color_832 import Color832Code
+from repro.core.params import ArchitectureConfig, PhysicalParams
+from repro.factory.t_to_ccz import DistillationCurve, run_factory, output_fidelity
+from repro.lookup.qrom import QROMSpec
+from repro.lookup.timing import LookupTiming
+from repro.sim.circuit import Circuit
+from repro.sim.statevector import StateVector
+from repro.sim.tableau import TableauSimulator
+
+
+class TestEstimateConsistency:
+    def test_runtime_equals_counts_times_gadget_times(self):
+        est = estimate_factoring()
+        expected = est.num_lookup_additions * (est.lookup_time + est.addition_time)
+        assert est.runtime_seconds == pytest.approx(expected)
+
+    def test_gadget_times_match_standalone_models(self):
+        params = FactoringParameters()
+        est = estimate_factoring(params)
+        lookup = LookupTiming(
+            QROMSpec(7, 2048), params.code_distance, PhysicalParams(),
+            params.fanout_grid_spacing,
+        )
+        addition = AdditionTiming(
+            RunwayConfig(2048, params.runway_separation, params.runway_padding),
+            params.code_distance,
+        )
+        assert est.lookup_time == pytest.approx(lookup.duration)
+        assert est.addition_time == pytest.approx(addition.duration)
+
+    def test_faster_reaction_shortens_runtime(self):
+        base = estimate_factoring()
+        physical = PhysicalParams().rescaled(measure_time=1e-4, decode_time=1e-4)
+        fast = estimate_factoring(config=ArchitectureConfig(physical=physical))
+        assert fast.runtime_seconds < base.runtime_seconds
+
+    def test_bigger_distance_more_qubits_same_counts(self):
+        small = estimate_factoring(FactoringParameters(code_distance=21))
+        large = estimate_factoring(FactoringParameters(code_distance=33))
+        assert large.physical_qubits > small.physical_qubits
+        assert large.num_lookup_additions == small.num_lookup_additions
+
+    @given(st.integers(5, 8))
+    @settings(max_examples=4, deadline=None)
+    def test_window_scaling_of_lookup_entries(self, w):
+        params = FactoringParameters(window_exp=w - 4, window_mul=4)
+        est = estimate_factoring(params)
+        assert est.total_ccz > 0
+        assert est.runtime_seconds > 0
+
+    def test_error_breakdown_sums_to_total(self):
+        est = estimate_factoring()
+        assert est.logical_error == pytest.approx(sum(est.error_breakdown.values()))
+
+
+class TestSimulatorCrossChecks:
+    def test_tableau_and_statevector_agree_on_stabilizer_circuit(self):
+        circuit = (
+            Circuit().h(0).cx(0, 1).s(1).cz(1, 2).h(2).cx(2, 3).measure(0, 1, 2, 3)
+        )
+        for seed in range(6):
+            tab = TableauSimulator(4, rng=np.random.default_rng(seed))
+            tab.run(circuit)
+            sv = StateVector(4, rng=np.random.default_rng(seed))
+            sv.run(circuit, forced_measurements=dict(enumerate(tab.record)))
+            assert sv.record == tab.record  # forced branch has support
+
+    def test_color_code_ccz_matches_statevector_factory(self):
+        # The algebraic CCZ check and the state-vector factory agree.
+        assert Color832Code().ccz_phase_check()
+        sim, accepted = run_factory()
+        assert accepted and output_fidelity(sim) > 1 - 1e-9
+
+    def test_factory_monte_carlo_matches_exact_curve(self):
+        # Sample random fault patterns at p = 0.03 and compare the accepted
+        # failure fraction with the exact enumeration.
+        rng = np.random.default_rng(5)
+        p = 0.03
+        curve = DistillationCurve(Color832Code())
+        exact = curve.output_error(p)
+        accepted = failures = 0
+        for _ in range(400):
+            faults = tuple(v for v in range(8) if rng.random() < p)
+            sim, ok = run_factory(faults, rng=np.random.default_rng(1))
+            if not ok:
+                continue
+            accepted += 1
+            if output_fidelity(sim) < 0.5:
+                failures += 1
+        observed = failures / accepted
+        assert observed == pytest.approx(exact, abs=3 * math.sqrt(exact / accepted) + 1e-3)
+
+
+class TestScalingLaws:
+    @given(st.sampled_from([11, 15, 21, 27, 33]))
+    @settings(max_examples=5, deadline=None)
+    def test_addition_time_independent_of_distance_when_reaction_limited(self, d):
+        # Reaction-limited steps hide the move time at Table I parameters.
+        timing = AdditionTiming(RunwayConfig(2048, 96, 43), d)
+        assert timing.duration == pytest.approx(0.278, abs=0.02)
+
+    @given(st.integers(4, 9))
+    @settings(max_examples=6, deadline=None)
+    def test_lookup_time_scales_with_entries(self, w):
+        timing = LookupTiming(QROMSpec(w, 2048), 27)
+        per_entry = timing.duration / 2**w
+        assert 1e-3 < per_entry < 3e-3  # ~reaction-limited per entry
+
+    def test_runway_segments_scale_inverse_separation(self):
+        for sep in (48, 96, 192):
+            rw = RunwayConfig(2048, sep, 43)
+            assert rw.num_segments == -(-2048 // sep)

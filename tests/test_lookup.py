@@ -1,0 +1,155 @@
+"""Tests for QROM, GHZ fan-out and lookup timing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import PhysicalParams
+from repro.lookup.ghz_fanout import (
+    FanoutLayout,
+    fanout_circuit,
+    fanout_wires,
+    ghz_fixup,
+    ghz_prep_circuit,
+    optimal_grid_spacing,
+)
+from repro.lookup.qrom import QROMSpec, lookup, qrom_circuit
+from repro.lookup.timing import LookupTiming, optimal_pipeline_copies
+from repro.sim.tableau import TableauSimulator
+
+PHYS = PhysicalParams()
+
+
+class TestQROM:
+    @given(st.integers(1, 4), st.data())
+    @settings(max_examples=25)
+    def test_lookup_matches_table(self, address_bits, data):
+        entries = 2**address_bits
+        table = data.draw(
+            st.lists(st.integers(0, 31), min_size=entries, max_size=entries)
+        )
+        address = data.draw(st.integers(0, entries - 1))
+        assert lookup(address_bits, table, 5, address) == table[address]
+
+    def test_partial_table_pads_with_zero(self):
+        assert lookup(3, [7, 7, 7], 3, 5) == 0
+
+    def test_toffoli_count_formula(self):
+        # 2 CCX per internal tree node = 2 (2^w - 2); magic cost is half.
+        for w in (2, 3, 4, 5):
+            circuit = qrom_circuit(w, [0] * 2**w, 4)
+            assert circuit.toffoli_count() == 2 * (2**w - 2)
+            assert QROMSpec(w, 4).toffoli_count == 2**w - 2
+
+    def test_oversized_table_rejected(self):
+        with pytest.raises(ValueError):
+            qrom_circuit(2, [0] * 5, 4)
+
+    def test_entry_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            qrom_circuit(2, [16], 4)
+
+    def test_average_fanout(self):
+        spec = QROMSpec(2, 8)
+        assert spec.average_cnot_fanout([0b1111, 0b0001, 0, 0]) == pytest.approx(1.25)
+
+
+class TestGHZFanout:
+    def test_prep_circuit_produces_ghz_under_postselection(self):
+        circuit = ghz_prep_circuit(4)
+        forced = {i: 0 for i in range(circuit.num_measurements)}
+        sim = TableauSimulator(circuit.num_qubits, rng=np.random.default_rng(0))
+        sim.run(circuit, forced_measurements=forced)
+        n = 4
+        x_mask = np.zeros(circuit.num_qubits, np.uint8)
+        x_mask[:n] = 1
+        assert sim.expectation(x_mask, np.zeros_like(x_mask)) == 0
+        for a in range(n - 1):
+            z_mask = np.zeros(circuit.num_qubits, np.uint8)
+            z_mask[a] = z_mask[a + 1] = 1
+            assert sim.expectation(np.zeros_like(z_mask), z_mask) == 0
+
+    def test_fixup_prefix_parity(self):
+        assert ghz_fixup([1, 0, 0], 4) == [1, 2, 3]
+        assert ghz_fixup([0, 1, 0], 4) == [2, 3]
+        assert ghz_fixup([1, 1, 0], 4) == [1]
+        assert ghz_fixup([0, 0, 0], 4) == []
+
+    @pytest.mark.parametrize("control_value", [0, 1])
+    def test_fanout_copies_control(self, control_value):
+        n = 5
+        wires = fanout_wires(n)
+        circuit = fanout_circuit(n)
+        forced = {i: 0 for i in range(circuit.num_measurements)}
+        sim = TableauSimulator(circuit.num_qubits, rng=np.random.default_rng(1))
+        if control_value:
+            sim.x_gate(wires.control)
+        sim.run(circuit, forced_measurements=forced)
+        for t in wires.targets:
+            assert sim.measure(t) == control_value
+
+    def test_fanout_preserves_superposition(self):
+        # Control in |+>: the gadget yields a GHZ over control + targets.
+        n = 3
+        wires = fanout_wires(n)
+        circuit = fanout_circuit(n)
+        forced = {i: 0 for i in range(circuit.num_measurements)}
+        sim = TableauSimulator(circuit.num_qubits, rng=np.random.default_rng(2))
+        sim.h(wires.control)
+        sim.run(circuit, forced_measurements=forced)
+        members = [wires.control] + list(wires.targets)
+        x_mask = np.zeros(circuit.num_qubits, np.uint8)
+        for q in members:
+            x_mask[q] = 1
+        assert sim.expectation(x_mask, np.zeros_like(x_mask)) == 0
+
+    def test_small_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            fanout_circuit(1)
+
+
+class TestFanoutLayout:
+    def test_qubit_counts(self):
+        layout = FanoutLayout(2048, 2, 27)
+        assert layout.num_ghz_qubits == 1024
+        assert layout.num_helper_qubits == 1023
+
+    def test_move_bound_2d_at_spacing_2(self):
+        # Paper Fig. 10(c): moves of a small constant distance, 2 d l.
+        layout = FanoutLayout(2048, 2, 27)
+        assert layout.max_move_sites() == pytest.approx(2 * 27)
+
+    def test_spacing_tradeoff(self):
+        tight = FanoutLayout(1024, 1, 27)
+        loose = FanoutLayout(1024, 4, 27)
+        assert loose.logical_qubits < tight.logical_qubits
+        assert loose.max_move_sites() > tight.max_move_sites()
+
+    def test_optimal_spacing_small(self):
+        best = optimal_grid_spacing(2048, 27, PHYS, 1e-3)
+        assert best in (1, 2, 3, 4)
+
+
+class TestLookupTiming:
+    def test_duration_matches_paper(self):
+        timing = LookupTiming(QROMSpec(7, 2048), 27)
+        assert timing.duration == pytest.approx(0.17, abs=0.03)
+
+    def test_reaction_limited_steps(self):
+        timing = LookupTiming(QROMSpec(7, 2048), 27)
+        assert timing.step_time >= PHYS.reaction_time
+
+    def test_smaller_table_faster(self):
+        small = LookupTiming(QROMSpec(5, 2048), 27)
+        large = LookupTiming(QROMSpec(8, 2048), 27)
+        assert small.duration < large.duration
+
+    def test_single_pipeline_copy_optimal(self):
+        # Paper: one copy per pipeline stage minimizes space-time volume.
+        timing = LookupTiming(QROMSpec(7, 2048), 27)
+        assert optimal_pipeline_copies(timing) == 1
+
+    def test_ccz_rate_about_reaction_rate(self):
+        timing = LookupTiming(QROMSpec(7, 2048), 27)
+        assert 0.5 / PHYS.reaction_time < timing.ccz_consumption_rate <= 1.0 / PHYS.reaction_time

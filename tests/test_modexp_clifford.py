@@ -1,0 +1,82 @@
+"""Tests for windowed multiply-add and transversal Clifford moves."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic.modexp import (
+    MultiplyAddSpec,
+    multiply_add,
+    multiply_add_circuit,
+)
+from repro.codes.transversal_clifford import (
+    FoldPermutation,
+    permutation_is_correct,
+    transversal_h_time,
+    transversal_s_time,
+)
+from repro.core.params import PhysicalParams
+
+PHYS = PhysicalParams()
+
+
+class TestWindowedMultiplyAdd:
+    @given(st.integers(2, 6), st.integers(1, 3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_integer_arithmetic(self, width, window, data):
+        c = data.draw(st.integers(0, 2**width - 1))
+        x = data.draw(st.integers(0, 2**width - 1))
+        t = data.draw(st.integers(0, 2**width - 1))
+        spec = MultiplyAddSpec(width, window, c)
+        assert multiply_add(spec, x, t) == (t + c * x) % 2**width
+
+    def test_window_not_dividing_width(self):
+        spec = MultiplyAddSpec(5, 2, 19)
+        assert multiply_add(spec, 13, 7) == (7 + 19 * 13) % 32
+
+    def test_lookup_addition_count(self):
+        assert MultiplyAddSpec(8, 3, 1).num_lookup_additions == 3
+
+    def test_window_tables(self):
+        spec = MultiplyAddSpec(4, 2, 3)
+        assert spec.window_table(0) == [0, 3, 6, 9]
+        assert spec.window_table(1) == [0, 12, 8, 4]  # (3*v << 2) mod 16
+
+    def test_toffoli_count_formula(self):
+        # Per window: QROM + inverse (2 x 2 (2^w - 2) CCX) plus a 2n-CCX
+        # Cuccaro adder.
+        for width, window in ((6, 3), (6, 2), (6, 1)):
+            circuit = multiply_add_circuit(MultiplyAddSpec(width, window, 5))
+            windows = -(-width // window)
+            expected = windows * (4 * (2**window - 2) + 2 * width)
+            assert circuit.toffoli_count() == expected
+
+    def test_constant_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplyAddSpec(3, 2, 8)
+
+
+class TestFoldPermutation:
+    @pytest.mark.parametrize("d", [3, 5, 9])
+    def test_permutation_correct(self, d):
+        assert permutation_is_correct(d)
+
+    @pytest.mark.parametrize("d", [3, 5, 9])
+    def test_batches_aod_valid(self, d):
+        FoldPermutation(d).validate()
+
+    def test_diagonal_atoms_never_move(self):
+        fold = FoldPermutation(5)
+        moved = {m.source for batch in fold.batches() for m in batch.moves}
+        for i in range(5):
+            assert (i, i) not in moved
+
+    def test_duration_positive_and_monotone(self):
+        t3 = FoldPermutation(3).duration(PHYS)
+        t7 = FoldPermutation(7).duration(PHYS)
+        assert 0 < t3 < t7
+
+    def test_h_and_s_times(self):
+        h = transversal_h_time(5, PHYS)
+        s = transversal_s_time(5, PHYS)
+        assert s > h > FoldPermutation(5).duration(PHYS)

@@ -1,0 +1,125 @@
+"""Tests for bridge parallelism, AutoCCZ, reaction model and baselines."""
+
+from itertools import product
+
+import pytest
+
+from repro.baselines.beverland import beverland_atom_estimate
+from repro.baselines.gidney_ekera import (
+    GidneyEkeraModel,
+    ge_rescaled_to_atoms,
+    ge_superconducting_headline,
+)
+from repro.baselines.qldpc import QLDPCStorageModel
+from repro.core.volume import ResourceEstimate
+from repro.parallel.autoccz import AutoCCZTiming, verify_autoccz_branch
+from repro.parallel.bridge import BridgedExecution, parallel_copies
+from repro.parallel.reaction import ReactionModel
+
+
+class TestBridge:
+    def test_copies_floor(self):
+        assert parallel_copies(10e-3, 1e-3) == 10
+        assert parallel_copies(0.5e-3, 1e-3) == 1
+
+    def test_bounded_by_work(self):
+        run = BridgedExecution(3, 10e-3, 1e-3, qubits_per_block=5)
+        assert run.copies == 3
+
+    def test_speedup_at_most_copies(self):
+        run = BridgedExecution(100, 10e-3, 1e-3, qubits_per_block=5)
+        assert 1.0 < run.speedup <= run.copies
+
+    def test_serial_case_no_overhead(self):
+        run = BridgedExecution(10, 0.5e-3, 1e-3, qubits_per_block=5)
+        assert run.copies == 1
+        assert run.makespan == pytest.approx(10 * 0.5e-3)
+
+    def test_peak_qubits_includes_bridges(self):
+        run = BridgedExecution(100, 10e-3, 1e-3, qubits_per_block=5)
+        assert run.peak_qubits == pytest.approx(10 * 5 + 2 * 9)
+
+    def test_active_fraction_reclaims_idle(self):
+        full = BridgedExecution(100, 10e-3, 1e-3, 5, active_fraction=1.0)
+        lean = BridgedExecution(100, 10e-3, 1e-3, 5, active_fraction=0.5)
+        assert lean.peak_qubits < full.peak_qubits
+
+
+class TestAutoCCZ:
+    @pytest.mark.parametrize("branch", list(product((0, 1), repeat=3)))
+    def test_gadget_equals_ccz_on_every_branch(self, branch):
+        assert verify_autoccz_branch(branch, trials=2)
+
+    def test_timing(self):
+        assert AutoCCZTiming(1e-3).steps_time(278) == pytest.approx(0.278)
+
+
+class TestReactionModel:
+    def test_paper_default_1ms(self):
+        assert ReactionModel().reaction_time == pytest.approx(1e-3)
+
+    def test_decoder_speedup(self):
+        fast = ReactionModel().with_decoder_speedup(5)
+        assert fast.reaction_time == pytest.approx(500e-6 + 100e-6)
+
+    def test_fast_readout(self):
+        cavity = ReactionModel().with_readout(6e-6)
+        assert cavity.reaction_time == pytest.approx(506e-6)
+
+    def test_rate(self):
+        assert ReactionModel().reaction_limited_rate() == pytest.approx(1000.0)
+
+
+class TestGidneyEkeraBaseline:
+    def test_headline_calibration(self):
+        est = ge_superconducting_headline()
+        assert est.megaqubits == pytest.approx(20.0, rel=0.1)
+        assert 4 < est.runtime_seconds / 3600 < 16  # same order as 8 h
+
+    def test_atom_rescale_is_hundreds_of_days(self):
+        est = ge_rescaled_to_atoms()
+        assert 100 < est.runtime_days < 1500
+
+    def test_surgery_limited_below_reaction(self):
+        model = GidneyEkeraModel(cycle_time=900e-6, reaction_time=1e-3)
+        assert model.toffoli_step_time == pytest.approx(27 * 900e-6)
+
+    def test_reaction_limited_when_slow(self):
+        model = GidneyEkeraModel(cycle_time=1e-6, reaction_time=1e-3)
+        assert model.toffoli_step_time == pytest.approx(1e-3)
+
+    def test_lookup_addition_count(self):
+        model = GidneyEkeraModel()
+        assert model.num_lookup_additions == pytest.approx(5.04e5, rel=0.01)
+
+
+class TestBeverlandBaseline:
+    def test_multi_year_runtime(self):
+        est = beverland_atom_estimate()
+        assert est.runtime_days > 365
+
+    def test_qubit_scale(self):
+        assert 5 < beverland_atom_estimate().megaqubits < 40
+
+
+class TestQLDPC:
+    def test_paper_20_percent_saving(self):
+        base = ResourceEstimate(physical_qubits=19e6, runtime_seconds=1.0)
+        model = QLDPCStorageModel(compression=10.0)
+        reduction = model.footprint_reduction(base, idle_qubits=4.5e6)
+        assert reduction == pytest.approx(0.21, abs=0.03)
+
+    def test_runtime_unchanged(self):
+        base = ResourceEstimate(physical_qubits=10e6, runtime_seconds=7.0)
+        out = QLDPCStorageModel().apply(base, 2e6)
+        assert out.runtime_seconds == 7.0
+        assert out.physical_qubits < base.physical_qubits
+
+    def test_idle_bounds_checked(self):
+        base = ResourceEstimate(physical_qubits=1e6, runtime_seconds=1.0)
+        with pytest.raises(ValueError):
+            QLDPCStorageModel().apply(base, 2e6)
+
+    def test_compression_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            QLDPCStorageModel(compression=0.5)

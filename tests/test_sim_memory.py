@@ -1,0 +1,132 @@
+"""Tests for memory-experiment builders: determinism and structure."""
+
+import numpy as np
+import pytest
+
+from repro.sim.frame import FrameSimulator
+from repro.sim.memory import (
+    MemoryExperimentBuilder,
+    memory_circuit,
+    transversal_cnot_circuit,
+    transversal_cnot_experiment,
+)
+from repro.sim.tableau import TableauSimulator
+
+
+def detector_violations(circuit, seed: int) -> int:
+    """Run the noiseless circuit on the tableau sim; count non-zero detectors."""
+    sim = TableauSimulator(circuit.num_qubits, rng=np.random.default_rng(seed))
+    sim.run(circuit)
+    violations = 0
+    for op in circuit.operations:
+        if op.name == "DETECTOR":
+            value = 0
+            for rec in op.targets:
+                value ^= sim.record[rec]
+            violations += value
+    return violations
+
+
+class TestMemoryCircuit:
+    @pytest.mark.parametrize("basis", ["Z", "X"])
+    def test_detectors_deterministic(self, basis):
+        circuit = memory_circuit(3, 3, 0.0, basis)
+        for seed in (0, 1, 2):
+            assert detector_violations(circuit, seed) == 0
+
+    def test_detector_count(self):
+        # d=3: round 1 has 4 Z detectors; rounds 2..r have 8; final has 4.
+        rounds = 4
+        circuit = memory_circuit(3, rounds, 0.0)
+        expected = 4 + 8 * (rounds - 1) + 4
+        assert circuit.num_detectors == expected
+
+    def test_single_observable(self):
+        assert memory_circuit(3, 2, 0.0).num_observables == 1
+
+    def test_noiseless_sampling_never_fails(self):
+        circuit = memory_circuit(3, 3, 0.0)
+        dets, obs = FrameSimulator(circuit).sample(32)
+        assert not dets.any()
+        assert not obs.any()
+
+    def test_noise_produces_defects(self):
+        circuit = memory_circuit(3, 3, 0.01)
+        dets, _ = FrameSimulator(circuit, rng=np.random.default_rng(0)).sample(64)
+        assert dets.any()
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            memory_circuit(3, 0, 0.0)
+
+    def test_invalid_basis(self):
+        with pytest.raises(ValueError):
+            MemoryExperimentBuilder(3, basis="Y")
+
+    def test_qubit_count(self):
+        circuit = memory_circuit(5, 2, 0.0)
+        assert circuit.num_qubits == 2 * 25 - 1
+
+
+class TestTransversalCnotCircuit:
+    @pytest.mark.parametrize("cnots", [[1], [1, 2], [1, 2, 3]])
+    def test_detectors_deterministic(self, cnots):
+        circuit = transversal_cnot_circuit(3, 4, 0.0, cnots)
+        for seed in (0, 1):
+            assert detector_violations(circuit, seed) == 0
+
+    def test_detectors_deterministic_alternating(self):
+        builder = transversal_cnot_experiment(
+            3, 5, 0.0, [1, 2, 3, 4], alternate_direction=True
+        )
+        assert detector_violations(builder.circuit, 3) == 0
+
+    def test_detectors_deterministic_x_basis(self):
+        circuit = transversal_cnot_circuit(3, 4, 0.0, [1, 2], basis="X")
+        assert detector_violations(circuit, 1) == 0
+
+    def test_two_observables(self):
+        circuit = transversal_cnot_circuit(3, 3, 0.0, [1])
+        assert circuit.num_observables == 2
+
+    def test_metadata_matches_detectors(self):
+        builder = transversal_cnot_experiment(3, 4, 1e-3, [1, 2])
+        assert len(builder.detector_meta) == builder.circuit.num_detectors
+        patches = {meta[0] for meta in builder.detector_meta}
+        assert patches == {0, 1}
+
+    def test_cnot_between_same_patch_rejected(self):
+        builder = MemoryExperimentBuilder(3, num_patches=2)
+        with pytest.raises(ValueError):
+            builder.transversal_cnot(0, 0)
+
+    def test_observables_are_own_patch_rows(self):
+        # Each observable covers exactly one patch's weight-d logical row.
+        circuit = transversal_cnot_circuit(3, 3, 0.0, [1])
+        obs_ops = [op for op in circuit.operations if op.name == "OBSERVABLE_INCLUDE"]
+        sizes = sorted(len(op.targets) for op in obs_ops)
+        assert sizes == [3, 3]
+
+    def test_observables_deterministic_noiseless(self):
+        circuit = transversal_cnot_circuit(3, 4, 0.0, [1, 2])
+        dets, obs = FrameSimulator(circuit).sample(8)
+        assert not obs.any()
+
+    def test_logical_state_transfer(self):
+        # Functional check: X on patch 0 then CX(0->1) flips patch 1's
+        # logical Z readout; verified via the observable with an injected
+        # deterministic error.
+        builder = MemoryExperimentBuilder(3, num_patches=2, basis="Z", p=0.0)
+        builder.se_round()
+        # Apply logical X on patch 0 (column of physical X).
+        code = builder.code
+        column = [builder.patches[0].data(q) for q in code.logical_x_support()]
+        builder.circuit.x_error(column, 1.0)
+        builder.transversal_cnot(0, 1)
+        builder.se_round()
+        circuit = builder.finalize()
+        dets, obs = FrameSimulator(circuit).sample(16)
+        # The injected logical X flips both observables: patch 0's directly,
+        # patch 1's because CX copies the logical X.
+        assert obs[:, 0].all()
+        assert obs[:, 1].all()
