@@ -15,6 +15,24 @@ def test_fig13a_alpha_sensitivity(benchmark):
     assert values == sorted(values)  # volume rises with alpha
 
 
+def test_fig13a_decoder_monte_carlo(benchmark):
+    """Measured decoder trade-off behind the alpha sweep (engine-backed)."""
+    tradeoff = benchmark.pedantic(
+        lambda: fig13.decoder_tradeoff_monte_carlo(
+            distance=3, rounds=3, p=0.004, shots=1500, seed=41
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for name, res in tradeoff.items():
+        print(f"  {name:>10s}: {res.failures}/{res.shots} -> {res.rate:.4f}")
+    # Paired comparison on identical syndromes: union-find should not beat
+    # MWPM by more than tie-breaking noise (MWPM is min-weight, not
+    # per-shot optimal, so allow a small slack as in test_unionfind_rotation).
+    assert tradeoff["union_find"].failures >= tradeoff["mwpm"].failures - 3
+
+
 def test_fig13b_coherence_sensitivity(benchmark):
     curve = benchmark(fig13.volume_vs_coherence)
     print()

@@ -1,13 +1,17 @@
 """Monte-Carlo decoding study: memory suppression and the Eq. (4) fit.
 
 Runs small surface-code memory and two-patch transversal-CNOT experiments
-through the Pauli-frame sampler, decodes with MWPM (sequential correlated
-decoding across the CNOT), and fits the paper's heuristic logical-error
-model (Fig. 6(a)).  Shot counts are kept small so the script finishes in
-about a minute; increase them for tighter fits.
+through the batched decoding engine (syndrome dedup + per-point seed
+streams), decodes with MWPM (sequential correlated decoding across the
+CNOT), and fits the paper's heuristic logical-error model (Fig. 6(a)).
+Memory points use streaming early-stop sampling: shots are drawn until a
+target failure count instead of a fixed batch.  Shot caps are kept small
+so the script finishes quickly; increase them for tighter fits.
 
 Run:  python examples/decoding_study.py
 """
+
+import numpy as np
 
 from repro.decoder.analysis import (
     cnot_experiment_rate,
@@ -20,10 +24,15 @@ from repro.decoder.analysis import (
 
 def main() -> None:
     p = 0.003
-    print(f"== memory experiments at p = {p} ==")
+    root = np.random.SeedSequence(11)
+    print(f"== memory experiments at p = {p} (early-stop sampling) ==")
     rates = []
-    for d, rounds, shots in [(3, 4, 3000), (5, 6, 1500)]:
-        res = memory_logical_error(d, rounds, p, shots, seed=11)
+    for (d, rounds, shots), point_seed in zip(
+        [(3, 4, 3000), (5, 6, 1500)], root.spawn(2)
+    ):
+        res = memory_logical_error(
+            d, rounds, p, shots, seed=point_seed, target_failures=20
+        )
         rate = per_round_rate(res, rounds)
         rates.append(rate)
         print(f"  d={d}: {res.failures}/{res.shots} failures -> "
@@ -33,9 +42,10 @@ def main() -> None:
 
     print("\n== transversal-CNOT experiments (sequential decoder) ==")
     data = []
+    cnot_seeds = iter(root.spawn(4))
     for d, shots in [(3, 1500), (5, 800)]:
         for every in (1, 2):
-            res, n = cnot_experiment_rate(d, 6, p, every, shots, seed=23)
+            res, n = cnot_experiment_rate(d, 6, p, every, shots, seed=next(cnot_seeds))
             per_cnot = res.rate / n
             print(f"  d={d}, x=1/{every}: {res.failures}/{res.shots} -> "
                   f"per-CNOT {per_cnot:.5f}")

@@ -1,12 +1,16 @@
 """Monte-Carlo logical-error estimation and model fitting (Fig. 6(a)).
 
 Runs memory / transversal-CNOT experiments through the frame sampler and
-the MWPM decoder, estimates logical error rates, and fits the paper's
-heuristic model:
+the batched decoding engine (:mod:`repro.decoder.engine`), estimates
+logical error rates, and fits the paper's heuristic model:
 
 * Eq. (2) memory fit: log p_L = log C - ((d+1)/2) log Lambda.
 * Eq. (4) transversal fit: extracts the decoding factor alpha from
   per-CNOT logical error rates at different CNOT densities x.
+
+All Monte-Carlo entry points accept a decoder registry name, a worker
+count for sharded parallel decoding, and an optional ``target_failures``
+for streaming early-stop sampling (``shots`` then acts as the cap).
 """
 
 from __future__ import annotations
@@ -18,10 +22,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
-from repro.decoder.graph import DecodingGraph
-from repro.decoder.mwpm import MWPMDecoder
+from repro.decoder.engine import DecodingEngine, SeedLike
 from repro.sim.circuit import Circuit
-from repro.sim.frame import FrameSimulator
 from repro.sim.memory import memory_circuit, transversal_cnot_experiment
 
 
@@ -46,24 +48,71 @@ class LogicalErrorResult:
 
 
 def run_decoding_experiment(
-    circuit: Circuit, shots: int, seed: int = 0, observable: int = 0
+    circuit: Circuit,
+    shots: int,
+    seed: SeedLike = 0,
+    observable: Optional[int] = 0,
+    *,
+    decoder: str = "mwpm",
+    detector_meta: Optional[Sequence[Tuple[int, str, int, int]]] = None,
+    basis: str = "Z",
+    workers: int = 1,
+    shard_shots: int = 1024,
+    target_failures: Optional[int] = None,
 ) -> LogicalErrorResult:
-    """Sample a noisy circuit and decode with MWPM on its DEM."""
-    sim = FrameSimulator(circuit, rng=np.random.default_rng(seed))
-    dem = sim.detector_error_model()
-    decoder = MWPMDecoder(DecodingGraph.from_dem(dem))
-    detectors, observables = sim.sample(shots)
-    predictions = decoder.decode_batch(detectors)
-    failures = int(np.sum(predictions[:, observable] ^ observables[:, observable]))
-    return LogicalErrorResult(shots=shots, failures=failures)
+    """Sample a noisy circuit and decode it through the batched engine.
+
+    Args:
+        circuit: noisy circuit to sample.
+        shots: shot count (the cap when ``target_failures`` is set).
+        seed: int or :class:`numpy.random.SeedSequence`; per-shard streams
+            are derived from it with ``SeedSequence.spawn``.
+        observable: failure column, or ``None`` to fail on any observable.
+        decoder: registry name ("mwpm", "union_find", "sequential").
+        detector_meta / basis: forwarded to the "sequential" decoder.
+        workers: parallel decoding workers (results are worker-invariant).
+        shard_shots: shots per engine shard.
+        target_failures: when set, stream shard batches until this many
+            failures are seen (or ``shots`` is exhausted).
+    """
+    engine = DecodingEngine(
+        circuit,
+        decoder,
+        detector_meta=detector_meta,
+        basis=basis,
+        observable=observable,
+        shard_shots=shard_shots,
+        workers=workers,
+    )
+    if target_failures is not None:
+        result = engine.run_until(target_failures, max_shots=shots, seed=seed)
+    else:
+        result = engine.run(shots, seed=seed)
+    return LogicalErrorResult(shots=result.shots, failures=result.failures)
 
 
 def memory_logical_error(
-    distance: int, rounds: int, p: float, shots: int, seed: int = 0, basis: str = "Z"
+    distance: int,
+    rounds: int,
+    p: float,
+    shots: int,
+    seed: SeedLike = 0,
+    basis: str = "Z",
+    *,
+    decoder: str = "mwpm",
+    workers: int = 1,
+    target_failures: Optional[int] = None,
 ) -> LogicalErrorResult:
     """Logical error of a distance-d memory experiment (whole run)."""
     circuit = memory_circuit(distance, rounds, p, basis)
-    return run_decoding_experiment(circuit, shots, seed)
+    return run_decoding_experiment(
+        circuit,
+        shots,
+        seed,
+        decoder=decoder,
+        workers=workers,
+        target_failures=target_failures,
+    )
 
 def per_round_rate(result: LogicalErrorResult, rounds: int) -> float:
     """Convert a whole-run failure probability to a per-round rate.
@@ -80,8 +129,11 @@ def cnot_experiment_rate(
     p: float,
     cnot_every: int,
     shots: int,
-    seed: int = 0,
+    seed: SeedLike = 0,
     decoder: str = "sequential",
+    *,
+    workers: int = 1,
+    target_failures: Optional[int] = None,
 ) -> Tuple[LogicalErrorResult, int]:
     """Two-patch transversal-CNOT experiment; returns (result, num_cnots).
 
@@ -93,24 +145,26 @@ def cnot_experiment_rate(
         decoder: "sequential" (correlated two-pass MWPM, full distance) or
             "joint" (single MWPM on the naively-decomposed joint graph --
             a deliberately weaker decoder for ablations).
+        workers / target_failures: forwarded to the decoding engine.
     """
-    from repro.decoder.sequential import SequentialCNOTDecoder
-
-    cnot_rounds = list(range(cnot_every, rounds, cnot_every))
-    builder = transversal_cnot_experiment(distance, rounds, p, cnot_rounds)
-    circuit = builder.circuit
-    sim = FrameSimulator(circuit, rng=np.random.default_rng(seed))
-    dem = sim.detector_error_model()
     if decoder == "sequential":
-        dec = SequentialCNOTDecoder(dem, builder.detector_meta, basis="Z")
+        engine_decoder = "sequential"
     elif decoder == "joint":
-        dec = MWPMDecoder(DecodingGraph.from_dem(dem))
+        engine_decoder = "mwpm"
     else:
         raise ValueError(f"unknown decoder {decoder!r}")
-    detectors, observables = sim.sample(shots)
-    predictions = dec.decode_batch(detectors)
-    wrong = (predictions ^ observables).any(axis=1)
-    result = LogicalErrorResult(shots=shots, failures=int(np.sum(wrong)))
+    cnot_rounds = list(range(cnot_every, rounds, cnot_every))
+    builder = transversal_cnot_experiment(distance, rounds, p, cnot_rounds)
+    result = run_decoding_experiment(
+        builder.circuit,
+        shots,
+        seed,
+        observable=None,
+        decoder=engine_decoder,
+        detector_meta=builder.detector_meta,
+        workers=workers,
+        target_failures=target_failures,
+    )
     return result, len(cnot_rounds)
 
 

@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.decoder.base import BatchDecoder
 from repro.decoder.graph import DecodingGraph
 from repro.decoder.mwpm import MWPMDecoder
 from repro.sim.frame import DetectorErrorModel
@@ -37,7 +38,7 @@ class _SectorMechanism:
     observables: Tuple[int, ...]
 
 
-class SequentialCNOTDecoder:
+class SequentialCNOTDecoder(BatchDecoder):
     """Two-pass decoder for one-directional transversal-CNOT experiments.
 
     Args:
@@ -139,9 +140,3 @@ class SequentialCNOTDecoder:
         second = self._target_decoder.decode(target_syndrome)
         prediction ^= second
         return prediction
-
-    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
-        out = np.zeros((syndromes.shape[0], self.num_observables), dtype=np.uint8)
-        for i in range(syndromes.shape[0]):
-            out[i] = self.decode(syndromes[i])
-        return out

@@ -19,7 +19,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.decoder.base import BatchDecoder
 from repro.decoder.graph import BOUNDARY, DecodingGraph
+
+# Edges whose -log-likelihood weight rails to ~0 (probability pinned at
+# the 0.499999 rail in Edge.weight) are grown in one step: half-edge
+# increments of a vanishing weight would otherwise stall the frontier.
+_ZERO_WEIGHT = 1e-5
 
 
 @dataclass
@@ -35,7 +41,7 @@ class _Cluster:
         return self.touches_boundary or self.defects % 2 == 0
 
 
-class UnionFindDecoder:
+class UnionFindDecoder(BatchDecoder):
     """Cluster-growth decoder on a :class:`DecodingGraph`."""
 
     def __init__(self, graph: DecodingGraph) -> None:
@@ -62,6 +68,10 @@ class UnionFindDecoder:
             parents[node], node = root, parents[node]
         return root
 
+    @property
+    def num_observables(self) -> int:
+        return self.graph.num_observables
+
     def decode(self, syndrome: np.ndarray) -> np.ndarray:
         """Predict observable flips for one syndrome."""
         defects = [int(d) for d in np.flatnonzero(syndrome)]
@@ -71,12 +81,6 @@ class UnionFindDecoder:
         mask = self._peel(self._grow(set(defects)), set(defects))
         for i in range(self.graph.num_observables):
             out[i] = (mask >> i) & 1
-        return out
-
-    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
-        out = np.zeros((syndromes.shape[0], self.graph.num_observables), dtype=np.uint8)
-        for i in range(syndromes.shape[0]):
-            out[i] = self.decode(syndromes[i])
         return out
 
     # -- growth ----------------------------------------------------------------
@@ -115,14 +119,29 @@ class UnionFindDecoder:
                 return grown
             safety += 1
             if safety > 10_000:
-                raise RuntimeError("union-find growth failed to converge")
+                state = {
+                    root: (clusters[root].defects, clusters[root].touches_boundary)
+                    for root in bad
+                }
+                raise RuntimeError(
+                    "union-find growth failed to converge after "
+                    f"{safety - 1} rounds; invalid clusters "
+                    f"(root -> (defects, touches_boundary)): {state}; "
+                    f"{len(grown)} edges grown"
+                )
             for root in bad:
                 nodes = [n for n in parents if self._find(parents, n) == root]
                 for node in nodes:
                     for neighbor, weight, _mask in self._adjacency.get(node, ()):
                         key = frozenset((node, neighbor))
-                        support[key] = support.get(key, 0.0) + max(weight, 1e-9) / 2
-                        if support[key] >= max(weight, 1e-9) and key not in grown:
+                        if key in grown:
+                            continue
+                        if weight <= _ZERO_WEIGHT:
+                            # Effectively-free edge: grow it immediately.
+                            support[key] = weight
+                        else:
+                            support[key] = support.get(key, 0.0) + weight / 2
+                        if support[key] >= weight:
                             grown.add(key)
                             ensure(neighbor)
                             self._union(parents, clusters, node, neighbor)

@@ -4,12 +4,23 @@
 fitted with Eq. (4) -- our MWPM/sequential-decoder rendition of the
 paper's MLE-data fit.  (b) analytic space-time volume per logical CNOT vs
 SE rounds per CNOT (Eq. 6).
+
+Seed derivation: ``seed`` is the root of a
+:class:`numpy.random.SeedSequence`; every Monte-Carlo point -- each
+memory distance and each (distance, cnot_every) pair -- runs on its own
+spawned child stream.  Earlier revisions passed the *same* integer seed
+to every sweep point, so nominally-independent points shared correlated
+noise realizations and the Eq. (2)/(4) fits were biased; spawning
+decorrelates the sweep while keeping the whole figure reproducible from
+one root seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.logical_error import cnot_spacetime_volume
 from repro.core.params import ErrorParams
@@ -39,18 +50,37 @@ def generate_fig6a(
     cnot_every: Sequence[int] = (1, 2),
     shots: int = 1500,
     seed: int = 29,
+    workers: int = 1,
+    target_failures: Optional[int] = None,
 ) -> Fig6aResult:
-    """Run the MC experiments and fit Eq. (4)."""
+    """Run the MC experiments and fit Eq. (4).
+
+    Args:
+        shots: shots per point (the cap when ``target_failures`` is set).
+        seed: root seed; each point gets its own spawned child stream.
+        workers: parallel decoding-engine workers per point.
+        target_failures: when set, each point streams shot batches until
+            this many failures are observed (or ``shots`` is reached).
+    """
+    root = np.random.SeedSequence(seed)
+    memory_seeds = root.spawn(len(distances))
     rates = []
-    for d in distances:
+    for d, point_seed in zip(distances, memory_seeds):
         rounds = d + 1
-        res = memory_logical_error(d, rounds, p, shots, seed=seed)
+        res = memory_logical_error(
+            d, rounds, p, shots, seed=point_seed,
+            workers=workers, target_failures=target_failures,
+        )
         rates.append(per_round_rate(res, rounds))
     memory_fit = fit_memory_model(list(distances), rates)
     data: List[Tuple[int, float, float]] = []
+    cnot_seeds = iter(root.spawn(len(distances) * len(cnot_every)))
     for d in distances:
         for every in cnot_every:
-            res, n = cnot_experiment_rate(d, 6, p, every, shots, seed=seed)
+            res, n = cnot_experiment_rate(
+                d, 6, p, every, shots, seed=next(cnot_seeds),
+                workers=workers, target_failures=target_failures,
+            )
             if res.failures == 0:
                 continue
             data.append((d, 1.0 / every, res.rate / n))

@@ -85,8 +85,17 @@ class FrameSimulator:
 
     # -- sampling --------------------------------------------------------------
 
-    def sample(self, shots: int) -> Tuple[np.ndarray, np.ndarray]:
+    def sample(
+        self, shots: int, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample detector and observable flip tables.
+
+        Args:
+            shots: number of Monte-Carlo shots to draw.
+            rng: generator to draw noise from; defaults to the simulator's
+                own.  Passing an explicit generator lets callers (e.g. the
+                sharded decoding engine) sample independent, reproducible
+                streams without rebuilding the simulator.
 
         Returns:
             (detectors, observables): uint8 arrays of shape
@@ -99,7 +108,10 @@ class FrameSimulator:
         observables = np.zeros((shots, max(self.circuit.num_observables, 1)), dtype=np.uint8)
         cursor = _Cursor()
         for op in self.circuit.operations:
-            self._apply(op, frame_x, frame_z, flips, detectors, observables, cursor, noisy=True)
+            self._apply(
+                op, frame_x, frame_z, flips, detectors, observables, cursor,
+                noisy=True, rng=rng if rng is not None else self._rng,
+            )
         return detectors, observables[:, : self.circuit.num_observables]
 
     # -- detector error model ----------------------------------------------------
@@ -172,7 +184,8 @@ class FrameSimulator:
 
     # -- op application ------------------------------------------------------------
 
-    def _apply(self, op, frame_x, frame_z, flips, detectors, observables, cursor, noisy):
+    def _apply(self, op, frame_x, frame_z, flips, detectors, observables, cursor, noisy, rng=None):
+        rng = rng if rng is not None else self._rng
         name = op.name
         if name == "H":
             for q in op.targets:
@@ -222,17 +235,17 @@ class FrameSimulator:
                 observables[:, index] ^= flips[:, rec]
         elif name == "X_ERROR":
             if noisy:
-                hit = self._rng.random((flips.shape[0], len(op.targets))) < op.arg
+                hit = rng.random((flips.shape[0], len(op.targets))) < op.arg
                 for i, q in enumerate(op.targets):
                     frame_x[:, q] ^= hit[:, i].astype(np.uint8)
         elif name == "Z_ERROR":
             if noisy:
-                hit = self._rng.random((flips.shape[0], len(op.targets))) < op.arg
+                hit = rng.random((flips.shape[0], len(op.targets))) < op.arg
                 for i, q in enumerate(op.targets):
                     frame_z[:, q] ^= hit[:, i].astype(np.uint8)
         elif name == "Y_ERROR":
             if noisy:
-                hit = self._rng.random((flips.shape[0], len(op.targets))) < op.arg
+                hit = rng.random((flips.shape[0], len(op.targets))) < op.arg
                 for i, q in enumerate(op.targets):
                     frame_x[:, q] ^= hit[:, i].astype(np.uint8)
                     frame_z[:, q] ^= hit[:, i].astype(np.uint8)
@@ -240,7 +253,7 @@ class FrameSimulator:
             if noisy:
                 shots = flips.shape[0]
                 for q in op.targets:
-                    draw = self._rng.random(shots)
+                    draw = rng.random(shots)
                     # Split [0, p) into thirds for X, Y, Z.
                     x_hit = draw < 2 * op.arg / 3
                     z_hit = (draw >= op.arg / 3) & (draw < op.arg)
@@ -250,9 +263,9 @@ class FrameSimulator:
             if noisy:
                 shots = flips.shape[0]
                 for a, b in zip(op.targets[0::2], op.targets[1::2]):
-                    draw = self._rng.random(shots)
+                    draw = rng.random(shots)
                     hit = draw < op.arg
-                    which = self._rng.integers(0, 15, size=shots)
+                    which = rng.integers(0, 15, size=shots)
                     for k, ((xa, za), (xb, zb)) in enumerate(_PAULI_2Q):
                         rows = hit & (which == k)
                         if not rows.any():
