@@ -1,0 +1,87 @@
+"""Bench E-EST: shared scenario runner timing the estimation pipeline.
+
+Times every registered analytic scenario three ways and writes
+``BENCH_estimator.json`` at the repo root:
+
+* ``uncached_serial_s`` -- sub-model caching bypassed (the pre-refactor
+  cost model: every grid point re-derives timing/factory/lookup
+  sub-models from scratch);
+* ``serial_s`` -- the pipeline as shipped, cold caches at the start of
+  the run (caches warm up *during* the sweep, which is the point);
+* ``jobs{N}_s`` -- the same with the sweep sharded over N worker
+  processes (worker-invariant results).
+
+Run directly:  PYTHONPATH=src python benchmarks/bench_estimator.py
+As pytest:     PYTHONPATH=src python -m pytest benchmarks/bench_estimator.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.cache import caching_disabled, clear_caches
+from repro.estimator.registry import available_scenarios, run_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_estimator.json"
+REPEATS = 3
+JOBS = 4
+# Scenarios whose dominant cost is the estimator sweep (the decoder
+# Monte-Carlo benchmarks live in bench_decode_engine.py).
+SWEEP_SCENARIOS = ("fig11", "fig13", "fig14", "table2")
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        clear_caches()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_scenario(name: str) -> dict:
+    serial = _best_of(lambda: run_scenario(name, jobs=1))
+    sharded = _best_of(lambda: run_scenario(name, jobs=JOBS))
+
+    def uncached():
+        with caching_disabled():
+            run_scenario(name, jobs=1)
+
+    uncached_serial = _best_of(uncached)
+    return {
+        "uncached_serial_s": uncached_serial,
+        "serial_s": serial,
+        f"jobs{JOBS}_s": sharded,
+        "cache_speedup": uncached_serial / serial if serial else float("inf"),
+    }
+
+
+def run_benchmarks() -> dict:
+    results = {}
+    for name in sorted(available_scenarios()):
+        results[name] = time_scenario(name)
+    return results
+
+
+def test_estimator_bench():
+    """Pytest entry point: the sweep scenarios must gain >= 3x from caching."""
+    results = run_benchmarks()
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print()
+    for name, row in results.items():
+        print(
+            f"  {name:12s} uncached {row['uncached_serial_s'] * 1e3:8.1f} ms"
+            f"  cached {row['serial_s'] * 1e3:8.1f} ms"
+            f"  ({row['cache_speedup']:.1f}x)"
+        )
+    best = max(results[name]["cache_speedup"] for name in SWEEP_SCENARIOS)
+    assert best >= 3.0, f"best sweep-scenario cache speedup only {best:.2f}x"
+
+
+if __name__ == "__main__":
+    test_estimator_bench()
+    print(f"\nwrote {OUTPUT}")

@@ -1,76 +1,196 @@
 """Command-line entry point: regenerate the paper's evaluation.
 
+Registry-driven: sections are looked up in the scenario registry
+(:mod:`repro.estimator.registry`), so adding a scenario requires zero CLI
+edits.
+
 Usage:
-    python -m repro                 # headline estimate + Fig. 2 comparison
-    python -m repro all             # every analytic table/figure
-    python -m repro fig2|fig6b|fig11|fig12|fig13|fig14|table1|table2
+    python -m repro                   # headline estimate + Fig. 2 comparison
+    python -m repro all               # every analytic table/figure
+    python -m repro fig11 table2      # specific sections
+    python -m repro --list            # registered scenarios
+    python -m repro --json fig13      # structured records instead of text
+    python -m repro --jobs 4 fig11    # shard sweeps over worker processes
+    python -m repro fig13 --param target_error=1e-11
 """
 
 from __future__ import annotations
 
+import argparse
+import ast
+import json
+import math
 import sys
+from typing import Any, Dict, List
 
-from repro.algorithms.factoring import estimate_factoring
-from repro.experiments import fig2, fig6, fig11, fig12, fig13, fig14, tables
-
-
-def run_headline() -> None:
-    est = estimate_factoring()
-    print("== 2048-bit factoring, transversal architecture ==")
-    print(f"  {est.physical_qubits / 1e6:.1f} M qubits, "
-          f"{est.runtime_seconds / 86400:.2f} days, "
-          f"{est.num_factories} factories")
-    print()
-    print("== Fig. 2 comparison ==")
-    print(fig2.render(fig2.generate()))
-    print(f"  speed-up vs GE19 @900us: {fig2.speedup_vs_ge():.0f}x")
+from repro.estimator.registry import (
+    all_sections,
+    available_scenarios,
+    describe_scenarios,
+    get_scenario,
+)
 
 
-def run_section(name: str) -> None:
-    if name == "fig2":
-        print(fig2.render(fig2.generate()))
-    elif name == "fig6b":
-        print(fig6.render_fig6b(fig6.generate_fig6b()))
-    elif name == "fig11":
-        for alpha in (1 / 6, 1 / 2):
-            curve = fig11.factory_volume_vs_se_rounds(alpha)
-            print(f"alpha = {alpha:.3f}:")
-            for rounds, vol in sorted(curve.items()):
-                print(f"  {rounds:5.2f} SE rounds/gate -> {vol:10.1f} qubit*s")
-    elif name == "fig12":
-        print(fig12.render(fig12.generate()))
-    elif name == "fig13":
-        for alpha, vol in sorted(fig13.volume_vs_alpha().items()):
-            print(f"  alpha {alpha:.3f}: {vol:8.1f} Mq*days")
-        for t, vol in sorted(fig13.volume_vs_coherence().items()):
-            print(f"  T_coh {t:6.1f} s: {vol:8.1f} Mq*days")
-    elif name == "fig14":
-        for factor, vol in sorted(fig14.volume_vs_acceleration().items()):
-            print(f"  a x {factor:4.2f}: {vol:8.1f} Mq*days")
-        for mq, days in fig14.qubit_time_tradeoff():
-            print(f"  {mq:6.1f} Mq -> {days:6.2f} days")
-    elif name == "table1":
-        for key, value in tables.table_i().items():
-            print(f"  {key:20s} {value:10.1f}")
-    elif name == "table2":
-        print(tables.render_table_ii(tables.table_ii_rows()))
-    else:
-        raise SystemExit(f"unknown section {name!r}")
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "sections",
+        nargs="*",
+        metavar="SECTION",
+        help="scenario names (see --list), or 'all'; default: headline",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit structured JSON records instead of rendered text",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sharded sweeps (results are identical "
+        "for any N)",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario parameter override (repeatable); values are parsed "
+        "as Python literals when possible",
+    )
+    return parser
 
 
-def main(argv: list[str]) -> None:
-    if not argv:
-        run_headline()
+def _parse_params(pairs: List[str], parser: argparse.ArgumentParser) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            parser.error(f"--param expects KEY=VALUE, got {pair!r}")
+        if key == "jobs":
+            parser.error("use --jobs N instead of --param jobs=N")
+        try:
+            params[key] = ast.literal_eval(raw)
+        except (SyntaxError, ValueError):
+            params[key] = raw
+    return params
+
+
+def _resolve_sections(
+    sections: List[str], parser: argparse.ArgumentParser
+) -> List[str]:
+    """Expand 'all' and validate every name up front via the registry.
+
+    Validating before running anything means a typo cannot fail a
+    multi-section invocation partway through, after earlier sections have
+    already printed.
+    """
+    if not sections:
+        return ["headline"]
+    resolved: List[str] = []
+    for name in sections:
+        if name == "all":
+            resolved.extend(all_sections())
+        else:
+            resolved.append(name)
+    known = set(available_scenarios())
+    unknown = sorted({name for name in resolved if name not in known})
+    if unknown:
+        names = ", ".join(repr(name) for name in unknown)
+        parser.error(
+            f"unknown section(s): {names}; available: "
+            + ", ".join(available_scenarios())
+        )
+    return resolved
+
+
+def _validate_params(
+    sections: List[str],
+    params: Dict[str, Any],
+    parser: argparse.ArgumentParser,
+) -> None:
+    """Reject --param keys any requested scenario doesn't accept, up front.
+
+    Like section names, overrides are validated before anything runs so a
+    bad key cannot abort a multi-section invocation partway through.
+    """
+    if not params:
         return
-    if argv[0] == "all":
-        for section in ("table1", "table2", "fig2", "fig6b", "fig11",
-                        "fig12", "fig13", "fig14"):
-            print(f"\n===== {section} =====")
-            run_section(section)
+    for name in sections:
+        accepted = get_scenario(name).accepted_params()
+        if accepted is None:
+            continue
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            keys = ", ".join(repr(k) for k in unknown)
+            supported = ", ".join(sorted(accepted)) or "(none)"
+            parser.error(
+                f"section {name!r} does not accept parameter(s) {keys}; "
+                f"supported: {supported}"
+            )
+
+
+def _finite(obj: Any) -> Any:
+    """Replace non-finite floats with None so the emitted JSON is RFC-valid.
+
+    Infeasible sweep points legitimately carry ``math.inf`` (e.g. no
+    distance meets the fig11_idle rate target at short periods); strict
+    JSON consumers reject the bare ``Infinity`` token Python would emit.
+    """
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, dict):
+        return {key: _finite(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_finite(value) for value in obj]
+    return obj
+
+
+def main(argv: List[str]) -> None:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    if args.list:
+        for name, description in describe_scenarios():
+            print(f"  {name:12s} {description}")
         return
-    for name in argv:
-        run_section(name)
+
+    params = _parse_params(args.param, parser)
+    sections = _resolve_sections(args.sections, parser)
+    _validate_params(sections, params, parser)
+    banners = bool(args.sections) and "all" in args.sections and not args.json
+
+    results = []
+    for name in sections:
+        scenario = get_scenario(name)
+        result = scenario.run(jobs=args.jobs, **params)
+        if args.json:
+            results.append(result.to_json())
+            continue
+        if banners:
+            print(f"\n===== {name} =====")
+        print(scenario.render(result))
+
+    if args.json:
+        print(json.dumps(_finite(results), indent=2, allow_nan=False))
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    try:
+        main(sys.argv[1:])
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(1)

@@ -11,6 +11,7 @@ from repro.algorithms.factoring import (
     FactoringParameters,
     estimate_factoring,
     required_distance_for_budget,
+    spacetime_volume_lower_bound,
 )
 from repro.algorithms.rotation_synthesis import RotationCost, qpe_rotation_budget
 from repro.algorithms.optimizer import (
@@ -34,5 +35,6 @@ __all__ = [
     "optimize_factoring",
     "qpe_rotation_budget",
     "required_distance_for_budget",
+    "spacetime_volume_lower_bound",
     "table_ii",
 ]

@@ -9,19 +9,18 @@ optimizer and sensitivity sweeps.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.arithmetic.runways import RunwayConfig
 from repro.arithmetic.timing import AdditionTiming
 from repro.arithmetic.windowed import WindowedExpConfig, ekera_hastad_exponent_bits
+from repro.core.cache import memoized
 from repro.core.logical_error import required_distance, transversal_cnot_error
 from repro.core.idle import storage_error_per_round
-from repro.core.params import ArchitectureConfig
-from repro.core.timing import TimingModel
+from repro.core.params import ArchitectureConfig, PhysicalParams
 from repro.core.volume import ResourceEstimate
-from repro.factory.pipeline import FactoryFleet, size_fleet
+from repro.factory.pipeline import size_fleet
 from repro.lookup.ghz_fanout import FanoutLayout
 from repro.lookup.qrom import QROMSpec
 from repro.lookup.timing import LookupTiming
@@ -96,23 +95,106 @@ class FactoringEstimate:
         )
 
 
+@memoized
+def factoring_submodels(
+    parameters: FactoringParameters, physical: PhysicalParams
+) -> Tuple[WindowedExpConfig, QROMSpec, LookupTiming, AdditionTiming, FanoutLayout]:
+    """Pure sub-models of one factoring grid point, built once per input set.
+
+    Sweeps revisit the same (parameters, physical) slices constantly --
+    e.g. the Table II window grid shares its runway/timing sub-models
+    across every ``window`` combination -- so the assembly is memoized on
+    the frozen dataclass inputs.
+    """
+    windowed = parameters.windowed()
+    d = parameters.code_distance
+    lookup_spec = QROMSpec(windowed.lookup_address_bits, parameters.modulus_bits)
+    lookup = LookupTiming(
+        lookup_spec, d, physical, parameters.fanout_grid_spacing
+    )
+    addition = AdditionTiming(windowed.runway, d, physical)
+    fanout = FanoutLayout(
+        parameters.modulus_bits, parameters.fanout_grid_spacing, d
+    )
+    return windowed, lookup_spec, lookup, addition, fanout
+
+
+@memoized
+def nonfactory_space_terms(
+    parameters: FactoringParameters, physical: PhysicalParams
+) -> Tuple[Tuple[Tuple[str, float], ...], Tuple[Tuple[str, float], ...]]:
+    """Per-phase space terms excluding the factory fleet, as (name, atoms).
+
+    Shared by :func:`estimate_factoring` and the optimizer's pruning bound:
+    the true footprint only ever adds factory atoms on top of these, so
+    their phase-max is a sound lower bound on the machine size.
+    """
+    windowed, lookup_spec, _, addition, fanout = factoring_submodels(
+        parameters, physical
+    )
+    d = parameters.code_distance
+    active_atoms = 2 * d * d - 1
+    dense_atoms = d * d
+    register_logicals = windowed.register_logical_qubits
+    lookup_terms = (
+        ("storage", (register_logicals - parameters.modulus_bits) * dense_atoms),
+        ("lookup_target", parameters.modulus_bits * active_atoms),
+        (
+            "cnot_fanout",
+            (fanout.logical_qubits + lookup_spec.ancilla_bits) * active_atoms,
+        ),
+        # One fresh and one just-measured GHZ register staged in the
+        # three-stage fan-out pipeline (Sec. III.8), stored densely.
+        ("ghz_pipeline", 2 * fanout.logical_qubits * dense_atoms),
+    )
+    addition_terms = (
+        (
+            "storage",
+            (register_logicals - windowed.runway.padded_width) * dense_atoms,
+        ),
+        ("adder_segments", addition.active_logical_qubits() * active_atoms),
+    )
+    return lookup_terms, addition_terms
+
+
+def spacetime_volume_lower_bound(
+    parameters: FactoringParameters,
+    config: ArchitectureConfig = ArchitectureConfig(),
+) -> float:
+    """Cheap, sound lower bound on a grid point's space-time volume.
+
+    The runtime part is exact (the same memoized timing sub-models the full
+    estimate uses); the space part omits the factory fleet, the one term
+    needing the distillation models.  Never exceeds the true volume, so the
+    optimizer can prune dominated grid points without moving the argmin.
+    """
+    windowed, _, lookup, addition, _ = factoring_submodels(
+        parameters, config.physical
+    )
+    runtime = windowed.num_lookup_additions * (lookup.duration + addition.duration)
+    lookup_terms, addition_terms = nonfactory_space_terms(
+        parameters, config.physical
+    )
+    qubit_floor = max(
+        sum(v for _, v in lookup_terms), sum(v for _, v in addition_terms)
+    )
+    return runtime * qubit_floor
+
+
 def estimate_factoring(
     parameters: FactoringParameters = FactoringParameters(),
     config: ArchitectureConfig = ArchitectureConfig(),
 ) -> FactoringEstimate:
     """Run the full pipeline and return the populated estimate."""
     est = FactoringEstimate(parameters=parameters, config=config)
-    windowed = parameters.windowed()
     d = parameters.code_distance
     physical = config.physical
     error = config.error
 
     # -- timing ------------------------------------------------------------
-    lookup_spec = QROMSpec(windowed.lookup_address_bits, parameters.modulus_bits)
-    lookup = LookupTiming(
-        lookup_spec, d, physical, parameters.fanout_grid_spacing
+    windowed, lookup_spec, lookup, addition, fanout = factoring_submodels(
+        parameters, physical
     )
-    addition = AdditionTiming(windowed.runway, d, physical)
     est.lookup_time = lookup.duration
     est.addition_time = addition.duration
     est.num_lookup_additions = float(windowed.num_lookup_additions)
@@ -133,28 +215,12 @@ def estimate_factoring(
     est.num_factories = fleet.count
 
     # -- space --------------------------------------------------------------
-    active_atoms = 2 * d * d - 1
-    dense_atoms = d * d
     register_logicals = windowed.register_logical_qubits
-    fanout = FanoutLayout(
-        parameters.modulus_bits, parameters.fanout_grid_spacing, d
-    )
-    lookup_space = {
-        "storage": (register_logicals - parameters.modulus_bits) * dense_atoms,
-        "lookup_target": parameters.modulus_bits * active_atoms,
-        "cnot_fanout": (fanout.logical_qubits + lookup_spec.ancilla_bits)
-        * active_atoms,
-        # One fresh and one just-measured GHZ register staged in the
-        # three-stage fan-out pipeline (Sec. III.8), stored densely.
-        "ghz_pipeline": 2 * fanout.logical_qubits * dense_atoms,
-        "factories": float(fleet.num_atoms),
-    }
-    addition_space = {
-        "storage": (register_logicals - windowed.runway.padded_width)
-        * dense_atoms,
-        "adder_segments": addition.active_logical_qubits() * active_atoms,
-        "factories": float(fleet.num_atoms),
-    }
+    lookup_terms, addition_terms = nonfactory_space_terms(parameters, physical)
+    lookup_space = dict(lookup_terms)
+    lookup_space["factories"] = float(fleet.num_atoms)
+    addition_space = dict(addition_terms)
+    addition_space["factories"] = float(fleet.num_atoms)
     est.space_breakdown = {"lookup": lookup_space, "addition": addition_space}
     est.physical_qubits = max(
         sum(lookup_space.values()), sum(addition_space.values())

@@ -7,79 +7,176 @@ budget.  In a transversal architecture Cliffords are fast and the reaction
 time binds, which pushes towards smaller windows and much smaller runway
 separations (more parallel segments and factories) than lattice-surgery
 compilations: Table II's (3, 4, 96) vs Ref. [8]'s (5, 5, 1024).
+
+The (w_exp, w_mul, r_sep) grid is expressed through the estimation
+pipeline's sweep engine: grid points share the memoized timing/factory
+sub-models, and a sound volume lower bound
+(:func:`repro.algorithms.factoring.spacetime_volume_lower_bound`) lets the
+branch-and-bound scan skip dominated points without moving the argmin.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.algorithms.factoring import (
     FactoringEstimate,
     FactoringParameters,
     estimate_factoring,
+    spacetime_volume_lower_bound,
 )
 from repro.arithmetic.runways import minimum_padding
 from repro.core.params import ArchitectureConfig
+from repro.estimator.sweep import grid, minimize
+
+WINDOW_EXP_RANGE = (2, 3, 4, 5)
+WINDOW_MUL_RANGE = (2, 3, 4, 5)
+RUNWAY_SEPARATIONS = (48, 64, 96, 128, 256, 512, 1024)
 
 
 @dataclass(frozen=True)
 class OptimizationResult:
-    """Best parameters plus the sweep trace."""
+    """Best parameters plus the sweep trace.
+
+    ``trace`` holds the (parameters, volume) pairs actually evaluated;
+    ``num_pruned`` counts grid points skipped by the lower-bound hook.
+    """
 
     parameters: FactoringParameters
     estimate: FactoringEstimate
     trace: Tuple[Tuple[FactoringParameters, float], ...]
+    num_pruned: int = 0
 
     @property
     def spacetime_volume(self) -> float:
         return self.estimate.physical_qubits * self.estimate.runtime_seconds
 
 
-def candidate_parameters(
-    modulus_bits: int = 2048,
-    window_exp_range: Iterable[int] = (2, 3, 4, 5),
-    window_mul_range: Iterable[int] = (2, 3, 4, 5),
-    runway_separations: Iterable[int] = (48, 64, 96, 128, 256, 512, 1024),
-    code_distance: int = 27,
-    runway_error_budget: float = 0.01,
-) -> Iterable[FactoringParameters]:
-    """Enumerate the sweep grid with consistent runway padding.
+def grid_point_parameters(
+    modulus_bits: int,
+    window_exp: int,
+    window_mul: int,
+    runway_separation: int,
+    code_distance: int,
+    runway_error_budget: float,
+) -> FactoringParameters:
+    """Algorithm parameters for one grid point, with consistent padding.
 
     The padding is the smallest keeping the total oblivious-runway error
     inside its budget for the implied number of additions, mirroring the
     paper's r_pad = 43 at its operating point.
     """
+    num_segments = -(-modulus_bits // runway_separation)
+    num_additions = (
+        2
+        * -(-(3 * modulus_bits // 2) // window_exp)
+        * -(-modulus_bits // window_mul)
+    )
+    padding = minimum_padding(
+        num_additions, runway_error_budget, max(num_segments - 1, 1)
+    )
+    return FactoringParameters(
+        modulus_bits=modulus_bits,
+        window_exp=window_exp,
+        window_mul=window_mul,
+        runway_separation=runway_separation,
+        runway_padding=padding,
+        code_distance=code_distance,
+    )
+
+
+def candidate_parameters(
+    modulus_bits: int = 2048,
+    window_exp_range: Iterable[int] = WINDOW_EXP_RANGE,
+    window_mul_range: Iterable[int] = WINDOW_MUL_RANGE,
+    runway_separations: Iterable[int] = RUNWAY_SEPARATIONS,
+    code_distance: int = 27,
+    runway_error_budget: float = 0.01,
+) -> Iterable[FactoringParameters]:
+    """Enumerate the sweep grid (kept for callers supplying custom grids)."""
     for w_exp in window_exp_range:
         for w_mul in window_mul_range:
             for r_sep in runway_separations:
-                num_segments = -(-modulus_bits // r_sep)
-                num_additions = (
-                    2
-                    * -(-(3 * modulus_bits // 2) // w_exp)
-                    * -(-modulus_bits // w_mul)
-                )
-                padding = minimum_padding(
-                    num_additions, runway_error_budget, max(num_segments - 1, 1)
-                )
-                yield FactoringParameters(
-                    modulus_bits=modulus_bits,
-                    window_exp=w_exp,
-                    window_mul=w_mul,
-                    runway_separation=r_sep,
-                    runway_padding=padding,
-                    code_distance=code_distance,
+                yield grid_point_parameters(
+                    modulus_bits, w_exp, w_mul, r_sep,
+                    code_distance, runway_error_budget,
                 )
 
 
 def optimize_factoring(
     config: ArchitectureConfig = ArchitectureConfig(),
     candidates: Optional[Iterable[FactoringParameters]] = None,
+    *,
+    modulus_bits: int = 2048,
+    window_exp_range: Iterable[int] = WINDOW_EXP_RANGE,
+    window_mul_range: Iterable[int] = WINDOW_MUL_RANGE,
+    runway_separations: Iterable[int] = RUNWAY_SEPARATIONS,
+    code_distance: int = 27,
+    runway_error_budget: float = 0.01,
+    prune: bool = True,
 ) -> OptimizationResult:
-    """Minimize space-time volume over the candidate grid."""
-    if candidates is None:
-        candidates = candidate_parameters()
+    """Minimize space-time volume over the candidate grid.
+
+    With the default grid the scan runs through the sweep engine with
+    branch-and-bound pruning (disable via ``prune=False``; the argmin is
+    identical either way, the bound being sound).  An explicit
+    ``candidates`` iterable falls back to an exhaustive serial scan.
+    """
+    if candidates is not None:
+        return _optimize_over(candidates, config)
+
+    def evaluate(point: dict) -> dict:
+        params = grid_point_parameters(
+            modulus_bits,
+            point["window_exp"],
+            point["window_mul"],
+            point["runway_separation"],
+            code_distance,
+            runway_error_budget,
+        )
+        estimate = estimate_factoring(params, config)
+        return {
+            "parameters": params,
+            "estimate": estimate,
+            "volume": estimate.physical_qubits * estimate.runtime_seconds,
+        }
+
+    def lower_bound(point: dict) -> float:
+        params = grid_point_parameters(
+            modulus_bits,
+            point["window_exp"],
+            point["window_mul"],
+            point["runway_separation"],
+            code_distance,
+            runway_error_budget,
+        )
+        return spacetime_volume_lower_bound(params, config)
+
+    result = minimize(
+        evaluate,
+        grid(
+            window_exp=tuple(window_exp_range),
+            window_mul=tuple(window_mul_range),
+            runway_separation=tuple(runway_separations),
+        ),
+        objective=lambda record: record["volume"],
+        lower_bound=lower_bound if prune else None,
+    )
+    return OptimizationResult(
+        parameters=result.best["parameters"],
+        estimate=result.best["estimate"],
+        trace=tuple(
+            (record["parameters"], volume) for record, volume in result.trace
+        ),
+        num_pruned=result.pruned,
+    )
+
+
+def _optimize_over(
+    candidates: Iterable[FactoringParameters], config: ArchitectureConfig
+) -> OptimizationResult:
     best: Optional[Tuple[FactoringParameters, FactoringEstimate]] = None
     best_volume = math.inf
     trace = []
@@ -97,24 +194,32 @@ def optimize_factoring(
     )
 
 
-def table_ii(config: ArchitectureConfig = ArchitectureConfig()) -> Dict[str, Dict[str, float]]:
-    """Reproduce Table II: our optimized parameters vs Ref. [8]'s."""
-    ours = optimize_factoring(config).parameters
+# Ref. [8]'s lattice-surgery operating point, the Table II comparison column.
+GIDNEY_EKERA_COLUMN: Dict[str, float] = {
+    "window_exp": 5,
+    "window_mul": 5,
+    "runway_separation": 1024,
+    "runway_padding": 43,
+    "code_distance": 27,
+    "max_factories": 28,
+}
+
+
+def table_ii_columns(parameters: FactoringParameters) -> Dict[str, Dict[str, float]]:
+    """Table II rows for an already-optimized parameter set."""
     return {
         "ours": {
-            "window_exp": ours.window_exp,
-            "window_mul": ours.window_mul,
-            "runway_separation": ours.runway_separation,
-            "runway_padding": ours.runway_padding,
-            "code_distance": ours.code_distance,
-            "max_factories": ours.max_factories,
+            "window_exp": parameters.window_exp,
+            "window_mul": parameters.window_mul,
+            "runway_separation": parameters.runway_separation,
+            "runway_padding": parameters.runway_padding,
+            "code_distance": parameters.code_distance,
+            "max_factories": parameters.max_factories,
         },
-        "gidney_ekera": {
-            "window_exp": 5,
-            "window_mul": 5,
-            "runway_separation": 1024,
-            "runway_padding": 43,
-            "code_distance": 27,
-            "max_factories": 28,
-        },
+        "gidney_ekera": dict(GIDNEY_EKERA_COLUMN),
     }
+
+
+def table_ii(config: ArchitectureConfig = ArchitectureConfig()) -> Dict[str, Dict[str, float]]:
+    """Reproduce Table II: our optimized parameters vs Ref. [8]'s."""
+    return table_ii_columns(optimize_factoring(config).parameters)

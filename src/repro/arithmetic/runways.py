@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.cache import memoized
+
 
 @dataclass(frozen=True)
 class RunwayConfig:
@@ -84,6 +86,7 @@ class RunwayConfig:
         return math.inf if per == 0 else budget / per
 
 
+@memoized
 def minimum_padding(num_additions: float, budget: float, num_runways: int) -> int:
     """Smallest padding keeping total runway error under ``budget``.
 

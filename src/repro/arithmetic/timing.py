@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.arithmetic.maj_layout import MajBlockLayout
 from repro.arithmetic.runways import RunwayConfig
 from repro.core.params import PhysicalParams
-from repro.core.timing import TimingModel
+from repro.core.timing import timing_model
 
 
 @dataclass(frozen=True)
@@ -31,7 +31,7 @@ class AdditionTiming:
     @property
     def step_time(self) -> float:
         """Per-Toffoli step: reaction-limited for Table I parameters."""
-        timing = TimingModel(self.physical)
+        timing = timing_model(self.physical)
         return timing.reaction_limited_step(self.code_distance)
 
     @property

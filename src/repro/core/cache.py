@@ -1,0 +1,98 @@
+"""Memoization of pure sub-model calls (estimation-pipeline cache layer).
+
+The paper's evaluation is a family of parameter sweeps over one expensive
+estimator; at every grid point the same pure sub-models (timing laws,
+distance search, factory/cultivation cycle models, the [[8,3,2]] code
+construction) are re-derived from identical frozen-dataclass inputs.  This
+module provides the process-wide cache those sweeps share:
+
+* :func:`memoized` -- an ``lru_cache`` wrapper for pure functions whose
+  arguments are hashable (frozen dataclasses, scalars).  Unhashable calls
+  fall through to the raw function instead of raising.
+* :func:`cache_stats` -- per-function hit/miss/size counters, used by the
+  sweep-engine tests and the benchmark runner.
+* :func:`clear_caches` -- reset every registered cache (cold-start timing).
+* :func:`caching_disabled` -- context manager bypassing every cache, for
+  honest cached-vs-uncached A/B measurements.
+
+Caches are per-process: ``multiprocessing`` sweep workers each build their
+own, which keeps results independent of the worker count.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Tuple, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+# All memoized functions, keyed by qualified name, for stats/clearing.
+_CACHES: Dict[str, Callable[..., Any]] = {}
+
+# Process-wide bypass switch (see caching_disabled()).
+_DISABLED = False
+
+
+def _hashable(args: tuple, kwargs: dict) -> bool:
+    try:
+        hash(args)
+        hash(tuple(sorted(kwargs.items())))
+    except TypeError:
+        return False
+    return True
+
+
+def memoized(fn: F) -> F:
+    """Memoize a pure function keyed on its (hashable) arguments.
+
+    The decorated function must be deterministic and return a value that is
+    safe to share between callers (immutable, or only ever read).  Calls
+    with unhashable arguments (e.g. an explicit list of sweep periods)
+    bypass the cache silently.
+    """
+    cached = functools.lru_cache(maxsize=None)(fn)
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if _DISABLED or not _hashable(args, kwargs):
+            return fn(*args, **kwargs)
+        return cached(*args, **kwargs)
+
+    wrapper.cache_info = cached.cache_info  # type: ignore[attr-defined]
+    wrapper.cache_clear = cached.cache_clear  # type: ignore[attr-defined]
+    name = f"{fn.__module__}.{fn.__qualname__}"
+    _CACHES[name] = wrapper
+    return wrapper  # type: ignore[return-value]
+
+
+def cache_stats() -> Dict[str, Tuple[int, int, int]]:
+    """Per-function ``(hits, misses, currsize)`` for every registered cache."""
+    out: Dict[str, Tuple[int, int, int]] = {}
+    for name, fn in _CACHES.items():
+        info = fn.cache_info()
+        out[name] = (info.hits, info.misses, info.currsize)
+    return out
+
+
+def clear_caches() -> None:
+    """Empty every registered cache (for cold-start benchmarks and tests)."""
+    for fn in _CACHES.values():
+        fn.cache_clear()
+
+
+@contextmanager
+def caching_disabled() -> Iterator[None]:
+    """Temporarily bypass every cache built with :func:`memoized`.
+
+    Used by the benchmark runner to measure the uncached baseline of a
+    sweep without reverting the refactor.  Not thread-safe (flips a
+    process-wide flag), which is fine for the serial benchmark loop.
+    """
+    global _DISABLED
+    previous = _DISABLED
+    _DISABLED = True
+    try:
+        yield
+    finally:
+        _DISABLED = previous

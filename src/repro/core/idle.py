@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.cache import memoized
 from repro.core.params import ErrorParams, PhysicalParams
 
 # Effective error locations per data qubit per SE round.  The paper's
@@ -119,6 +120,7 @@ def analytic_optimal_period(
     return gate * physical.coherence_time / (k - 1.0)
 
 
+@memoized
 def optimal_storage_period_volume(
     error: ErrorParams,
     physical: PhysicalParams,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.core.cache import memoized
 from repro.core.params import ErrorParams
 
 
@@ -78,6 +79,7 @@ def effective_threshold(error: ErrorParams, cnots_per_round: float) -> float:
     return error.p_thres / (error.alpha * cnots_per_round + 1.0)
 
 
+@memoized
 def required_distance(
     target_error: float,
     error: ErrorParams,
@@ -104,6 +106,7 @@ def required_distance(
     raise ValueError(f"no distance <= {max_distance} reaches {target_error}")
 
 
+@memoized
 def required_distance_memory(
     target_error_per_round: float, error: ErrorParams, max_distance: int = 201
 ) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import movement
+from repro.core.cache import memoized
 from repro.core.params import PhysicalParams
 
 # Number of entangling layers in one surface-code SE round (weight-4
@@ -82,3 +83,14 @@ class TimingModel:
     def storage_round_time(self) -> float:
         """Duration of an SE round on densely-packed storage (no patch move)."""
         return self.se_round_time
+
+
+@memoized
+def timing_model(physical: PhysicalParams = PhysicalParams()) -> TimingModel:
+    """Shared :class:`TimingModel` for a parameter set.
+
+    Sweeps construct timing models at every grid point; the instances are
+    frozen and pure, so points with the same :class:`PhysicalParams` share
+    one object (and `lru_cache` makes repeat construction free).
+    """
+    return TimingModel(physical)

@@ -1,0 +1,60 @@
+"""Unified estimation pipeline: sweeps, caching, and the scenario registry.
+
+The paper's evaluation is a family of parameter sweeps over one expensive
+estimator.  This subsystem gives every figure/table driver one engine:
+
+* :mod:`repro.estimator.sweep` -- declarative grid sweeps (named axes,
+  cartesian or zipped), worker-invariant ``multiprocessing`` sharding, and
+  branch-and-bound pruning for optimizers.
+* :mod:`repro.estimator.registry` -- a string-keyed registry of
+  :class:`Scenario` objects returning structured records, driving the
+  ``python -m repro`` CLI so new scenarios need zero CLI edits.
+* :mod:`repro.core.cache` (re-exported here) -- memoization of pure
+  sub-model calls keyed on frozen dataclass inputs, shared by every sweep.
+"""
+
+from repro.core.cache import (
+    cache_stats,
+    caching_disabled,
+    clear_caches,
+    memoized,
+)
+from repro.estimator.registry import (
+    Scenario,
+    ScenarioResult,
+    all_sections,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+)
+from repro.estimator.sweep import (
+    Axis,
+    GridSpec,
+    MinimizeResult,
+    grid,
+    minimize,
+    sweep,
+    zipped,
+)
+
+__all__ = [
+    "Axis",
+    "GridSpec",
+    "MinimizeResult",
+    "Scenario",
+    "ScenarioResult",
+    "all_sections",
+    "available_scenarios",
+    "cache_stats",
+    "caching_disabled",
+    "clear_caches",
+    "get_scenario",
+    "grid",
+    "memoized",
+    "minimize",
+    "register_scenario",
+    "run_scenario",
+    "sweep",
+    "zipped",
+]

@@ -1,0 +1,130 @@
+"""String-keyed scenario registry driving the evaluation CLI.
+
+Mirrors the decoder registry of :mod:`repro.decoder.engine`: each figure or
+table of the paper registers a :class:`Scenario` under a stable name, and
+the ``python -m repro`` CLI dispatches purely through the registry --
+adding a scenario requires zero CLI edits.
+
+A scenario's ``build`` callable returns a :class:`ScenarioResult`:
+structured records (a list of flat dicts, one per data point) plus
+metadata, instead of the ad-hoc dict shapes the drivers used to print
+directly.  ``render`` turns a result back into the CLI's text form; the
+``--json`` flag serializes the result instead.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Structured output of one scenario run."""
+
+    scenario: str
+    records: Tuple[Dict[str, Any], ...]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serializable form (records and metadata must be plain data)."""
+        return {
+            "scenario": self.scenario,
+            "metadata": dict(self.metadata),
+            "records": [dict(record) for record in self.records],
+        }
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered figure/table generator.
+
+    Attributes:
+        name: registry key (CLI section name).
+        description: one-line summary shown by ``--list``.
+        build: ``build(jobs=1, **params) -> ScenarioResult``; ``params``
+            are CLI ``--param`` overrides, validated by the callable's own
+            keyword signature (unknown keys raise ``TypeError``).
+        render: formats a result as the CLI's text output.
+        order: position in the canonical ``all`` sequence.
+        in_all: whether ``python -m repro all`` includes this scenario.
+    """
+
+    name: str
+    description: str
+    build: Callable[..., ScenarioResult]
+    render: Callable[[ScenarioResult], str]
+    order: int = 1000
+    in_all: bool = True
+
+    def run(self, jobs: int = 1, **params: Any) -> ScenarioResult:
+        return self.build(jobs=jobs, **params)
+
+    def accepted_params(self) -> Optional[frozenset]:
+        """Override names ``build`` accepts, or ``None`` if it takes any.
+
+        Lets callers (the CLI) reject unknown ``--param`` keys up front,
+        before any scenario runs, instead of crashing mid-invocation.
+        """
+        sig = inspect.signature(self.build)
+        if any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in sig.parameters.values()
+        ):
+            return None
+        return frozenset(sig.parameters) - {"jobs"}
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Register a scenario under its name; duplicate names are an error."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def _ensure_loaded() -> None:
+    # The builtin scenarios self-register when their driver modules import;
+    # pulling in repro.experiments loads all of them.
+    import repro.experiments  # noqa: F401
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario; raises ``KeyError`` naming the alternatives."""
+    _ensure_loaded()
+    scenario = _REGISTRY.get(name)
+    if scenario is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        )
+    return scenario
+
+
+def run_scenario(name: str, jobs: int = 1, **params: Any) -> ScenarioResult:
+    """Build a registered scenario's result."""
+    return get_scenario(name).run(jobs=jobs, **params)
+
+
+def all_sections() -> Tuple[str, ...]:
+    """Canonical `all` order: paper tables first, then figures."""
+    _ensure_loaded()
+    members = [s for s in _REGISTRY.values() if s.in_all]
+    return tuple(s.name for s in sorted(members, key=lambda s: (s.order, s.name)))
+
+
+def describe_scenarios() -> Tuple[Tuple[str, str], ...]:
+    """(name, description) pairs for ``--list``, sorted by name."""
+    _ensure_loaded()
+    return tuple(
+        (name, _REGISTRY[name].description) for name in sorted(_REGISTRY)
+    )

@@ -1,5 +1,28 @@
-"""Generators for every table and figure of the paper's evaluation."""
+"""Generators for every table and figure of the paper's evaluation.
 
-from repro.experiments import fig2, fig6, fig11, fig12, fig13, fig14, tables
+Importing this package registers every builtin scenario with
+:mod:`repro.estimator.registry` (each driver module self-registers), which
+is what drives the ``python -m repro`` CLI.
+"""
 
-__all__ = ["fig2", "fig6", "fig11", "fig12", "fig13", "fig14", "tables"]
+from repro.experiments import (
+    fig2,
+    fig6,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    headline,
+    tables,
+)
+
+__all__ = [
+    "fig2",
+    "fig6",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "headline",
+    "tables",
+]

@@ -15,6 +15,7 @@ from repro.algorithms.factoring import (
     estimate_factoring,
 )
 from repro.core.params import ArchitectureConfig
+from repro.estimator.registry import Scenario, ScenarioResult, register_scenario
 
 
 def generate(
@@ -43,15 +44,74 @@ def error_fractions(estimate: FactoringEstimate) -> Dict[str, float]:
     }
 
 
-def render(estimate: FactoringEstimate) -> str:
-    lines = ["space usage (million physical qubits):"]
+def _records_from_estimate(estimate: FactoringEstimate) -> list:
+    """Flatten the breakdowns into records, largest contribution first."""
+    records = []
     for phase, parts in estimate.space_breakdown.items():
-        lines.append(f"  during {phase}:")
         for name, value in sorted(parts.items(), key=lambda kv: -kv[1]):
-            lines.append(f"    {name:16s} {value / 1e6:8.2f} M")
-    lines.append("logical error contributions:")
+            records.append({
+                "kind": "space",
+                "phase": phase,
+                "component": name,
+                "atoms": value,
+            })
     for name, value in sorted(
         estimate.error_breakdown.items(), key=lambda kv: -kv[1]
     ):
-        lines.append(f"    {name:16s} {value:10.3e}")
+        records.append({
+            "kind": "error",
+            "component": name,
+            "probability": value,
+        })
+    return records
+
+
+def _render_records(records) -> str:
+    lines = ["space usage (million physical qubits):"]
+    current_phase = None
+    for r in records:
+        if r["kind"] != "space":
+            continue
+        if r["phase"] != current_phase:
+            current_phase = r["phase"]
+            lines.append(f"  during {current_phase}:")
+        lines.append(f"    {r['component']:16s} {r['atoms'] / 1e6:8.2f} M")
+    lines.append("logical error contributions:")
+    for r in records:
+        if r["kind"] == "error":
+            lines.append(f"    {r['component']:16s} {r['probability']:10.3e}")
     return "\n".join(lines)
+
+
+def render(estimate: FactoringEstimate) -> str:
+    return _render_records(_records_from_estimate(estimate))
+
+
+# -- scenario ------------------------------------------------------------------
+
+
+def _build_fig12(jobs: int = 1) -> ScenarioResult:
+    estimate = generate()
+    records = _records_from_estimate(estimate)
+    return ScenarioResult(
+        scenario="fig12",
+        records=tuple(records),
+        metadata={
+            "physical_qubits": estimate.physical_qubits,
+            "runtime_seconds": estimate.runtime_seconds,
+            "logical_error": estimate.logical_error,
+        },
+    )
+
+
+def _render_fig12(result: ScenarioResult) -> str:
+    return _render_records(result.records)
+
+
+register_scenario(Scenario(
+    name="fig12",
+    description="space usage and logical-error contribution by component (Fig. 12)",
+    build=_build_fig12,
+    render=_render_fig12,
+    order=60,
+))

@@ -14,6 +14,7 @@ abstracts into a single parameter.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -21,51 +22,78 @@ import numpy as np
 from repro.algorithms.factoring import FactoringParameters, estimate_factoring
 from repro.core.idle import optimal_storage_period_volume
 from repro.core.logical_error import required_distance
-from repro.core.params import ArchitectureConfig, ErrorParams
+from repro.core.params import ArchitectureConfig
 from repro.decoder.analysis import LogicalErrorResult
 from repro.decoder.engine import DecodingEngine, make_decoder
+from repro.estimator.registry import Scenario, ScenarioResult, register_scenario
+from repro.estimator.sweep import grid, sweep
 from repro.sim.frame import FrameSimulator
 from repro.sim.memory import memory_circuit
 
+DEFAULT_ALPHAS = (1.0 / 12, 1.0 / 6, 1.0 / 3, 1.0 / 2, 2.0 / 3)
+DEFAULT_COHERENCE_TIMES = (0.3, 1.0, 3.0, 10.0, 30.0, 100.0)
+
+
+def _alpha_point(point: dict, target_error: float, base: ArchitectureConfig) -> dict:
+    """Volume (Mq-days) at one decoding-factor grid point."""
+    error = base.error.rescaled(alpha=point["alpha"])
+    distance = required_distance(target_error, error, 1.0)
+    params = FactoringParameters(code_distance=distance)
+    config = base.rescaled(error=error)
+    est = estimate_factoring(params, config)
+    return {
+        "volume_mq_days": est.physical_qubits * est.runtime_seconds / 86400.0 / 1e6,
+        "code_distance": distance,
+    }
+
 
 def volume_vs_alpha(
-    alphas: Sequence[float] = (1.0 / 12, 1.0 / 6, 1.0 / 3, 1.0 / 2, 2.0 / 3),
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
     target_error: float = 1e-12,
     base: ArchitectureConfig = ArchitectureConfig(),
+    jobs: int = 1,
 ) -> Dict[float, float]:
     """Space-time volume (Mqubit-days) vs decoding factor."""
-    out: Dict[float, float] = {}
-    for alpha in alphas:
-        error = base.error.rescaled(alpha=alpha)
-        distance = required_distance(target_error, error, 1.0)
-        params = FactoringParameters(code_distance=distance)
-        config = base.rescaled(error=error)
-        est = estimate_factoring(params, config)
-        out[alpha] = est.physical_qubits * est.runtime_seconds / 86400.0 / 1e6
-    return out
+    records = sweep(
+        partial(_alpha_point, target_error=target_error, base=base),
+        grid(alpha=tuple(alphas)),
+        jobs=jobs,
+    )
+    return {r["alpha"]: r["volume_mq_days"] for r in records}
+
+
+def _coherence_point(point: dict, base: ArchitectureConfig) -> dict:
+    """Volume (Mq-days) at one coherence-time grid point."""
+    physical = base.physical.rescaled(coherence_time=point["coherence_time"])
+    period = optimal_storage_period_volume(base.error, physical).period
+    config = base.rescaled(physical=physical, storage_se_period=period)
+    est = estimate_factoring(config=config)
+    # Storage density scales with the SE work per stored qubit: charge
+    # the extra SE visits as extra effective storage footprint.
+    storage_penalty = max(1.0, (8e-3 / period))
+    volume = est.physical_qubits * storage_penalty * est.runtime_seconds
+    return {
+        "volume_mq_days": volume / 86400.0 / 1e6,
+        "storage_se_period": period,
+    }
 
 
 def volume_vs_coherence(
-    coherence_times: Sequence[float] = (0.3, 1.0, 3.0, 10.0, 30.0, 100.0),
+    coherence_times: Sequence[float] = DEFAULT_COHERENCE_TIMES,
     base: ArchitectureConfig = ArchitectureConfig(),
+    jobs: int = 1,
 ) -> Dict[float, float]:
     """Volume vs coherence time; the storage SE period re-optimizes.
 
     Shorter coherence forces denser storage SE (more volume) and higher
     idle noise; below ~1 s the cost accelerates (Fig. 13(b)).
     """
-    out: Dict[float, float] = {}
-    for t_coh in coherence_times:
-        physical = base.physical.rescaled(coherence_time=t_coh)
-        period = optimal_storage_period_volume(base.error, physical).period
-        config = base.rescaled(physical=physical, storage_se_period=period)
-        est = estimate_factoring(config=config)
-        # Storage density scales with the SE work per stored qubit: charge
-        # the extra SE visits as extra effective storage footprint.
-        storage_penalty = max(1.0, (8e-3 / period))
-        volume = est.physical_qubits * storage_penalty * est.runtime_seconds
-        out[t_coh] = volume / 86400.0 / 1e6
-    return out
+    records = sweep(
+        partial(_coherence_point, base=base),
+        grid(coherence_time=tuple(coherence_times)),
+        jobs=jobs,
+    )
+    return {r["coherence_time"]: r["volume_mq_days"] for r in records}
 
 
 def decoder_tradeoff_monte_carlo(
@@ -117,3 +145,57 @@ def threshold_drop_cost(base: ArchitectureConfig = ArchitectureConfig()) -> floa
     """
     curve = volume_vs_alpha(alphas=(1.0 / 6, 2.0 / 3), base=base)
     return curve[2.0 / 3] / curve[1.0 / 6]
+
+
+# -- scenario ------------------------------------------------------------------
+
+
+def _build_fig13(jobs: int = 1, target_error: float = 1e-12) -> ScenarioResult:
+    base = ArchitectureConfig()
+    alpha_records = sweep(
+        partial(_alpha_point, target_error=target_error, base=base),
+        grid(alpha=DEFAULT_ALPHAS),
+        jobs=jobs,
+    )
+    coherence_records = sweep(
+        partial(_coherence_point, base=base),
+        grid(coherence_time=DEFAULT_COHERENCE_TIMES),
+        jobs=jobs,
+    )
+    records = tuple(
+        [{"kind": "alpha", **r} for r in alpha_records]
+        + [{"kind": "coherence", **r} for r in coherence_records]
+    )
+    return ScenarioResult(
+        scenario="fig13",
+        records=records,
+        metadata={"target_error": target_error},
+    )
+
+
+def _render_fig13(result: ScenarioResult) -> str:
+    lines = []
+    alpha_curve = {
+        r["alpha"]: r["volume_mq_days"]
+        for r in result.records
+        if r["kind"] == "alpha"
+    }
+    for alpha, vol in sorted(alpha_curve.items()):
+        lines.append(f"  alpha {alpha:.3f}: {vol:8.1f} Mq*days")
+    coherence_curve = {
+        r["coherence_time"]: r["volume_mq_days"]
+        for r in result.records
+        if r["kind"] == "coherence"
+    }
+    for t, vol in sorted(coherence_curve.items()):
+        lines.append(f"  T_coh {t:6.1f} s: {vol:8.1f} Mq*days")
+    return "\n".join(lines)
+
+
+register_scenario(Scenario(
+    name="fig13",
+    description="volume sensitivity to decoding factor and coherence time (Fig. 13)",
+    build=_build_fig13,
+    render=_render_fig13,
+    order=70,
+))

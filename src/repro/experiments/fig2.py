@@ -14,6 +14,10 @@ from repro.algorithms.factoring import estimate_factoring
 from repro.baselines.beverland import beverland_atom_estimate
 from repro.baselines.gidney_ekera import ge_rescaled_to_atoms
 from repro.core.params import ArchitectureConfig
+from repro.estimator.registry import Scenario, ScenarioResult, register_scenario
+from repro.estimator.sweep import grid, sweep
+
+DEFAULT_GE_REACTION_TIMES = (1e-3, 3e-3, 10e-3, 30e-3)
 
 
 @dataclass(frozen=True)
@@ -27,9 +31,20 @@ class Fig2Point:
         return self.megaqubits * self.days
 
 
+def _ge_point(point: dict) -> dict:
+    tr = point["reaction_time"]
+    ge = ge_rescaled_to_atoms(reaction_time=tr)
+    return {
+        "label": f"GE19 @900us, tr={tr * 1e3:.0f}ms",
+        "megaqubits": ge.megaqubits,
+        "days": ge.runtime_days,
+    }
+
+
 def generate(
     config: ArchitectureConfig = ArchitectureConfig(),
-    ge_reaction_times=(1e-3, 3e-3, 10e-3, 30e-3),
+    ge_reaction_times=DEFAULT_GE_REACTION_TIMES,
+    jobs: int = 1,
 ) -> List[Fig2Point]:
     """All points of the comparison figure."""
     points: List[Fig2Point] = []
@@ -38,11 +53,10 @@ def generate(
         Fig2Point("transversal (this work)", ours.physical_qubits / 1e6,
                   ours.runtime_seconds / 86400.0)
     )
-    for tr in ge_reaction_times:
-        ge = ge_rescaled_to_atoms(reaction_time=tr)
-        points.append(
-            Fig2Point(f"GE19 @900us, tr={tr * 1e3:.0f}ms", ge.megaqubits, ge.runtime_days)
-        )
+    for r in sweep(
+        _ge_point, grid(reaction_time=tuple(ge_reaction_times)), jobs=jobs,
+    ):
+        points.append(Fig2Point(r["label"], r["megaqubits"], r["days"]))
     bev = beverland_atom_estimate()
     points.append(Fig2Point("Beverland et al.", bev.megaqubits, bev.runtime_days))
     return points
@@ -62,3 +76,34 @@ def render(points: List[Fig2Point]) -> str:
             f"{p.label:32s} {p.megaqubits:8.1f} {p.days:10.2f} {p.megaqubit_days:10.1f}"
         )
     return "\n".join(lines)
+
+
+# -- scenario ------------------------------------------------------------------
+
+
+def _build_fig2(jobs: int = 1) -> ScenarioResult:
+    points = generate(jobs=jobs)
+    return ScenarioResult(
+        scenario="fig2",
+        records=tuple(
+            {"label": p.label, "megaqubits": p.megaqubits, "days": p.days}
+            for p in points
+        ),
+        metadata={"speedup_vs_ge_10ms": speedup_vs_ge()},
+    )
+
+
+def _render_fig2(result: ScenarioResult) -> str:
+    return render([
+        Fig2Point(r["label"], r["megaqubits"], r["days"])
+        for r in result.records
+    ])
+
+
+register_scenario(Scenario(
+    name="fig2",
+    description="space-time comparison vs lattice-surgery baselines (Fig. 2)",
+    build=_build_fig2,
+    render=_render_fig2,
+    order=30,
+))

@@ -18,12 +18,15 @@ one root seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.logical_error import cnot_spacetime_volume
 from repro.core.params import ErrorParams
+from repro.estimator.registry import Scenario, ScenarioResult, register_scenario
+from repro.estimator.sweep import grid, sweep
 from repro.decoder.analysis import (
     AlphaFit,
     MemoryFit,
@@ -88,16 +91,27 @@ def generate_fig6a(
     return Fig6aResult(memory_fit=memory_fit, alpha_fit=alpha_fit, data=tuple(data))
 
 
+DEFAULT_SE_ROUNDS_PER_CNOT = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _fig6b_point(point: dict, error: ErrorParams, target_error: float) -> dict:
+    rounds = point["se_rounds"]
+    return {"volume": cnot_spacetime_volume(1.0 / rounds, error, target_error)}
+
+
 def generate_fig6b(
     error: ErrorParams = ErrorParams(),
-    se_rounds_per_cnot: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+    se_rounds_per_cnot: Sequence[float] = DEFAULT_SE_ROUNDS_PER_CNOT,
     target_error: float = 1e-12,
+    jobs: int = 1,
 ) -> Dict[float, float]:
     """Volume per CNOT vs SE rounds per CNOT (x = 1/rounds)."""
-    out: Dict[float, float] = {}
-    for rounds in se_rounds_per_cnot:
-        out[rounds] = cnot_spacetime_volume(1.0 / rounds, error, target_error)
-    return out
+    records = sweep(
+        partial(_fig6b_point, error=error, target_error=target_error),
+        grid(se_rounds=tuple(se_rounds_per_cnot)),
+        jobs=jobs,
+    )
+    return {r["se_rounds"]: r["volume"] for r in records}
 
 
 def render_fig6b(curve: Dict[float, float]) -> str:
@@ -105,3 +119,32 @@ def render_fig6b(curve: Dict[float, float]) -> str:
     for rounds, volume in sorted(curve.items()):
         lines.append(f"{rounds:15.2f} {volume:12.1f}")
     return "\n".join(lines)
+
+
+# -- scenario ------------------------------------------------------------------
+
+
+def _build_fig6b(jobs: int = 1, target_error: float = 1e-12) -> ScenarioResult:
+    records = sweep(
+        partial(_fig6b_point, error=ErrorParams(), target_error=target_error),
+        grid(se_rounds=DEFAULT_SE_ROUNDS_PER_CNOT),
+        jobs=jobs,
+    )
+    return ScenarioResult(
+        scenario="fig6b",
+        records=tuple(records),
+        metadata={"target_error": target_error},
+    )
+
+
+def _render_fig6b_result(result: ScenarioResult) -> str:
+    return render_fig6b({r["se_rounds"]: r["volume"] for r in result.records})
+
+
+register_scenario(Scenario(
+    name="fig6b",
+    description="space-time volume per CNOT vs SE rounds per CNOT (Fig. 6(b))",
+    build=_build_fig6b,
+    render=_render_fig6b_result,
+    order=40,
+))

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.atoms.geometry import Region
 from repro.core.params import PhysicalParams
-from repro.core.timing import TimingModel
+from repro.core.timing import timing_model
 from repro.factory.cultivation import CultivationModel
 from repro.factory.t_to_ccz import factory_cnot_layers
 
@@ -51,7 +51,7 @@ class FactoryLayout:
 
     def cnot_stage_time(self) -> float:
         """Four transversal CNOT layers at the logical-gate cadence."""
-        timing = TimingModel(self.physical)
+        timing = timing_model(self.physical)
         return self.num_cnot_layers * timing.logical_gate_time(self.code_distance)
 
     def measurement_time(self) -> float:
@@ -66,7 +66,7 @@ class FactoryLayout:
         which eight fresh |T> states are cultivated.
         """
         stage = self.cnot_stage_time() + self.measurement_time()
-        round_time = TimingModel(self.physical).se_round_time
+        round_time = timing_model(self.physical).se_round_time
         copies = max(cultivation.copies_in_row(CULTIVATION_ROW_TILES), 1)
         t_rate_limited = 8.0 * cultivation.expected_time(round_time) / copies
         return max(stage, t_rate_limited)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.cache import memoized
 from repro.core.params import PhysicalParams
 from repro.factory.cultivation import CultivationModel, required_t_error
 from repro.factory.layout import FactoryLayout
@@ -40,6 +41,7 @@ class FactoryFleet:
         return distilled_ccz_error(self.cultivation.target_error)
 
 
+@memoized
 def size_fleet(
     consumption_rate: float,
     code_distance: int,

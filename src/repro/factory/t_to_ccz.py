@@ -25,11 +25,23 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.codes.color_832 import Color832Code
+from repro.core.cache import memoized
 from repro.sim.circuit import Circuit
 from repro.sim.statevector import StateVector
 
 NUM_T_INPUTS = 8
 SECOND_ORDER_COEFFICIENT = 28  # undetected weight-2 fault patterns
+
+
+@memoized
+def default_color_code() -> Color832Code:
+    """The shared [[8,3,2]] block.
+
+    Constructing the code solves GF(2) linear systems for the logicals --
+    the dominant cost of every factory-layout query -- so resource sweeps
+    share one immutable instance instead of rebuilding it per grid point.
+    """
+    return Color832Code()
 
 
 def factory_cnot_layers(code: Color832Code | None = None) -> List[List[Tuple[int, int]]]:
@@ -39,7 +51,7 @@ def factory_cnot_layers(code: Color832Code | None = None) -> List[List[Tuple[int
     (vertex v of the cube is qubit 3 + v).  Layer 1 spreads a GHZ state
     over the block; layers 2-4 inject each output's logical X.
     """
-    code = code or Color832Code()
+    code = code or default_color_code()
     layers: List[List[Tuple[int, int]]] = []
     # GHZ prep of the code block: |000>_L = (|0^8> + |1^8>)/sqrt(2).
     layers.append([(3, 3 + v) for v in range(1, 4)])
@@ -60,7 +72,7 @@ def factory_circuit(t_z_faults: Tuple[int, ...] = ()) -> Circuit:
     Returns a circuit over 11 qubits: outputs 0..2, block 3..10; the block
     is measured in the X basis (8 records, in vertex order).
     """
-    code = Color832Code()
+    code = default_color_code()
     circuit = Circuit()
     circuit.append("RX", (0, 1, 2))
     circuit.append("R", tuple(range(3, 11)))
@@ -88,7 +100,7 @@ def run_factory(
     The output state has the Pauli-Z corrections applied.  ``accepted`` is
     the X^{x8} post-selection flag.
     """
-    code = Color832Code()
+    code = default_color_code()
     circuit = factory_circuit(t_z_faults)
     sim = StateVector(11, rng=rng or np.random.default_rng(0))
     sim.run(circuit)

@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.params import PhysicalParams
-from repro.core.timing import TimingModel
+from repro.core.timing import timing_model
 from repro.lookup.ghz_fanout import FanoutLayout
 from repro.lookup.qrom import QROMSpec
 
@@ -34,7 +34,7 @@ class LookupTiming:
     @property
     def step_time(self) -> float:
         """Reaction-limited unary-iteration step."""
-        return TimingModel(self.physical).reaction_limited_step(self.code_distance)
+        return timing_model(self.physical).reaction_limited_step(self.code_distance)
 
     @property
     def fanout_overhead_per_entry(self) -> float:

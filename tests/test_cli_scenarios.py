@@ -1,0 +1,201 @@
+"""CLI + scenario-registry tests: smoke, JSON round-trip, golden values.
+
+The golden files under ``tests/golden/`` were captured from the
+pre-refactor (PR 1) code; the registry-driven pipeline must reproduce
+them bit-identically (text) / within 1e-12 (numerics).
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.estimator.registry import (
+    all_sections,
+    available_scenarios,
+    run_scenario,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+class TestScenarioSmoke:
+    @pytest.mark.parametrize("name", sorted(available_scenarios()))
+    def test_every_scenario_runs_through_dispatcher(self, name, capsys):
+        main([name])
+        out = capsys.readouterr().out
+        assert out.strip(), f"scenario {name} printed nothing"
+
+    @pytest.mark.parametrize("name", sorted(available_scenarios()))
+    def test_every_scenario_json_round_trips(self, name, capsys):
+        main(["--json", name])
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        result = payload[0]
+        assert result["scenario"] == name
+        assert isinstance(result["records"], list) and result["records"]
+        assert all(isinstance(r, dict) for r in result["records"])
+
+    def test_structured_records_match_render_source(self):
+        result = run_scenario("table2")
+        columns = {r["column"] for r in result.records}
+        assert columns == {"ours", "gidney_ekera"}
+        assert result.metadata["grid_points_evaluated"] > 0
+
+
+class TestCLI:
+    def test_headline_default(self, capsys):
+        main([])
+        out = capsys.readouterr().out
+        assert "transversal" in out
+        assert "days" in out
+
+    def test_list_names_every_scenario(self, capsys):
+        main(["--list"])
+        out = capsys.readouterr().out
+        for name in available_scenarios():
+            assert name in out
+
+    def test_multiple_sections(self, capsys):
+        main(["table1", "fig6b"])
+        out = capsys.readouterr().out
+        assert "site_spacing_um" in out
+        assert "SE rounds/CNOT" in out
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_unknown_section_validated_before_any_output(self, capsys):
+        """A typo must not fail partway through a multi-section run."""
+        with pytest.raises(SystemExit):
+            main(["table1", "nope"])
+        assert "site_spacing_um" not in capsys.readouterr().out
+
+    def test_unknown_param_rejected_with_section_name(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig6b", "--param", "bogus_knob=3"])
+        err = capsys.readouterr().err
+        assert "fig6b" in err and "bogus_knob" in err
+
+    def test_unknown_param_validated_before_any_output(self, capsys):
+        """A param one section rejects must not abort mid-invocation."""
+        with pytest.raises(SystemExit):
+            main(["fig6b", "table1", "--param", "target_error=1e-9"])
+        out, err = capsys.readouterr()
+        assert "SE rounds/CNOT" not in out  # fig6b never printed
+        assert "table1" in err and "target_error" in err
+
+    def test_json_is_rfc_valid_with_infeasible_points(self, capsys):
+        """fig11_idle carries inf volumes; JSON must not emit Infinity."""
+        main(["--json", "fig11_idle"])
+        out = capsys.readouterr().out
+        assert "Infinity" not in out
+        payload = json.loads(out)
+        volumes = [r["volume"] for r in payload[0]["records"]]
+        assert None in volumes  # infeasible points serialized as null
+        assert any(isinstance(v, float) for v in volumes)
+
+    def test_param_override_changes_output(self, capsys):
+        main(["--json", "fig6b", "--param", "target_error=1e-9"])
+        loose = json.loads(capsys.readouterr().out)[0]
+        main(["--json", "fig6b"])
+        tight = json.loads(capsys.readouterr().out)[0]
+        assert loose["metadata"]["target_error"] == 1e-9
+        assert loose["records"][0]["volume"] < tight["records"][0]["volume"]
+
+    def test_jobs_flag_matches_serial(self, capsys):
+        main(["--json", "fig14"])
+        serial = capsys.readouterr().out
+        main(["--json", "--jobs", "2", "fig14"])
+        sharded = capsys.readouterr().out
+        assert serial == sharded
+
+    def test_all_covers_canonical_sections(self, capsys):
+        assert all_sections() == (
+            "table1", "table2", "fig2", "fig6b",
+            "fig11", "fig12", "fig13", "fig14",
+        )
+
+
+class TestGolden:
+    def test_cli_all_bit_identical(self, capsys):
+        main(["all"])
+        out = capsys.readouterr().out
+        assert out == (GOLDEN / "cli_all.txt").read_text()
+
+    def test_cli_headline_bit_identical(self, capsys):
+        main([])
+        out = capsys.readouterr().out
+        assert out == (GOLDEN / "cli_headline.txt").read_text()
+
+    def test_numeric_outputs_within_1e12(self):
+        from repro.algorithms.factoring import estimate_factoring
+        from repro.experiments import fig6, fig11, fig13, fig14
+
+        golden = json.loads((GOLDEN / "estimator_values.json").read_text())
+
+        def check_curve(curve, expected):
+            pairs = sorted([[float(k), v] for k, v in curve.items()])
+            assert len(pairs) == len(expected)
+            for (key, value), (gkey, gvalue) in zip(pairs, expected):
+                assert key == pytest.approx(gkey, abs=0.0)
+                assert value == pytest.approx(gvalue, rel=1e-12)
+
+        est = estimate_factoring()
+        head = golden["headline"]
+        assert est.physical_qubits == pytest.approx(
+            head["physical_qubits"], rel=1e-12
+        )
+        assert est.runtime_seconds == pytest.approx(
+            head["runtime_seconds"], rel=1e-12
+        )
+        assert est.logical_error == pytest.approx(
+            head["logical_error"], rel=1e-12
+        )
+        assert est.num_factories == head["num_factories"]
+        check_curve(fig6.generate_fig6b(), golden["fig6b"])
+        check_curve(
+            fig11.factory_volume_vs_se_rounds(1 / 6),
+            golden["fig11_factory_alpha_sixth"],
+        )
+        check_curve(fig13.volume_vs_alpha(), golden["fig13_alpha"])
+        check_curve(fig13.volume_vs_coherence(), golden["fig13_coherence"])
+        check_curve(
+            fig14.volume_vs_acceleration(), golden["fig14_acceleration"]
+        )
+        check_curve(
+            fig14.volume_vs_reaction_time(), golden["fig14_reaction"]
+        )
+        tradeoff = fig14.qubit_time_tradeoff()
+        for point, gpoint in zip(tradeoff, golden["fig14_tradeoff"]):
+            assert point[0] == pytest.approx(gpoint[0], rel=1e-12)
+            assert point[1] == pytest.approx(gpoint[1], rel=1e-12)
+
+    def test_optimizer_volume_matches_golden(self):
+        from repro.algorithms.optimizer import optimize_factoring
+
+        golden = json.loads((GOLDEN / "estimator_values.json").read_text())
+        result = optimize_factoring()
+        assert result.spacetime_volume == pytest.approx(
+            golden["optimizer"]["best_volume"], rel=1e-12
+        )
+        for key in ("window_exp", "window_mul", "runway_separation",
+                    "runway_padding"):
+            assert getattr(result.parameters, key) == golden["optimizer"][key]
+
+
+class TestRenderTableII:
+    def test_empty_rows_return_message_not_stopiteration(self):
+        from repro.experiments.tables import render_table_ii
+
+        out = render_table_ii({})
+        assert "no rows" in out
+
+    def test_nonempty_rows_render(self):
+        from repro.experiments.tables import render_table_ii
+
+        out = render_table_ii({"ours": {"window_exp": 3}})
+        assert "window_exp" in out
