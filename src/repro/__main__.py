@@ -12,23 +12,31 @@ Usage:
     python -m repro --json fig13      # structured records instead of text
     python -m repro --jobs 4 fig11    # shard sweeps over worker processes
     python -m repro fig13 --param target_error=1e-11
+    python -m repro serve --port 8000 # HTTP estimation service
+
+With ``REPRO_STORE_DIR`` set (or ``--store-dir`` given), results are
+warm-started from -- and persisted to -- the on-disk result store shared
+with ``python -m repro serve``, so repeated invocations skip recomputation
+entirely.  Store entries are invalidated automatically when the installed
+source changes (content-addressed on the code fingerprint), so a warm run
+is always bit-identical to a cold one.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
-import json
-import math
+import os
 import sys
 from typing import Any, Dict, List
 
 from repro.estimator.registry import (
+    UnknownParamsError,
     all_sections,
     available_scenarios,
     describe_scenarios,
     get_scenario,
 )
+from repro.estimator.serialize import dumps_results, parse_override_value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario parameter override (repeatable); values are parsed "
         "as Python literals when possible",
     )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="warm-start from (and persist to) the on-disk result store "
+        "at DIR; defaults to $REPRO_STORE_DIR when that is set",
+    )
     return parser
 
 
@@ -77,10 +92,7 @@ def _parse_params(pairs: List[str], parser: argparse.ArgumentParser) -> Dict[str
             parser.error(f"--param expects KEY=VALUE, got {pair!r}")
         if key == "jobs":
             parser.error("use --jobs N instead of --param jobs=N")
-        try:
-            params[key] = ast.literal_eval(raw)
-        except (SyntaxError, ValueError):
-            params[key] = raw
+        params[key] = parse_override_value(raw)
     return params
 
 
@@ -125,36 +137,33 @@ def _validate_params(
     if not params:
         return
     for name in sections:
-        accepted = get_scenario(name).accepted_params()
-        if accepted is None:
-            continue
-        unknown = sorted(set(params) - accepted)
-        if unknown:
-            keys = ", ".join(repr(k) for k in unknown)
-            supported = ", ".join(sorted(accepted)) or "(none)"
-            parser.error(
-                f"section {name!r} does not accept parameter(s) {keys}; "
-                f"supported: {supported}"
-            )
+        try:
+            get_scenario(name).validate_params(params)
+        except UnknownParamsError as exc:
+            parser.error(str(exc))
 
 
-def _finite(obj: Any) -> Any:
-    """Replace non-finite floats with None so the emitted JSON is RFC-valid.
+def _open_store(store_dir: str | None):
+    """The persistent result store, when enabled; ``None`` otherwise.
 
-    Infeasible sweep points legitimately carry ``math.inf`` (e.g. no
-    distance meets the fig11_idle rate target at short periods); strict
-    JSON consumers reject the bare ``Infinity`` token Python would emit.
+    Enabled by ``--store-dir DIR`` or the ``REPRO_STORE_DIR`` env var.
+    Imported lazily so the plain CLI never pays for the service layer.
     """
-    if isinstance(obj, float) and not math.isfinite(obj):
+    store_dir = store_dir or os.environ.get("REPRO_STORE_DIR")
+    if not store_dir:
         return None
-    if isinstance(obj, dict):
-        return {key: _finite(value) for key, value in obj.items()}
-    if isinstance(obj, list):
-        return [_finite(value) for value in obj]
-    return obj
+    from repro.service.store import ResultStore
+
+    return ResultStore(store_dir)
 
 
 def main(argv: List[str]) -> None:
+    if argv and argv[0] == "serve":
+        from repro.service.api import serve
+
+        serve(argv[1:])
+        return
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -169,11 +178,19 @@ def main(argv: List[str]) -> None:
     sections = _resolve_sections(args.sections, parser)
     _validate_params(sections, params, parser)
     banners = bool(args.sections) and "all" in args.sections and not args.json
+    store = _open_store(args.store_dir)
 
     results = []
     for name in sections:
         scenario = get_scenario(name)
-        result = scenario.run(jobs=args.jobs, **params)
+        if store is not None:
+            from repro.service.store import run_with_store
+
+            result = run_with_store(
+                name, jobs=args.jobs, store=store, **params
+            )
+        else:
+            result = scenario.run(jobs=args.jobs, **params)
         if args.json:
             results.append(result.to_json())
             continue
@@ -182,7 +199,7 @@ def main(argv: List[str]) -> None:
         print(scenario.render(result))
 
     if args.json:
-        print(json.dumps(_finite(results), indent=2, allow_nan=False))
+        print(dumps_results(results))
 
 
 if __name__ == "__main__":

@@ -14,24 +14,44 @@ module provides the process-wide cache those sweeps share:
 * :func:`clear_caches` -- reset every registered cache (cold-start timing).
 * :func:`caching_disabled` -- context manager bypassing every cache, for
   honest cached-vs-uncached A/B measurements.
+* :func:`code_version` -- a fingerprint of the installed ``repro`` source
+  tree, used by the persistent result store to invalidate entries computed
+  by older code and stamped into every ``ScenarioResult``'s metadata.
 
 Caches are per-process: ``multiprocessing`` sweep workers each build their
-own, which keeps results independent of the worker count.
+own, which keeps results independent of the worker count.  Within a
+process the layer is thread-safe: the bypass switch is thread-local (one
+thread measuring uncached timings does not stampede the service's worker
+threads), and the underlying ``lru_cache`` is safe under the GIL.
 """
 
 from __future__ import annotations
 
 import functools
+import hashlib
+import threading
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, Tuple, TypeVar
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, TypeVar
 
 F = TypeVar("F", bound=Callable[..., Any])
 
 # All memoized functions, keyed by qualified name, for stats/clearing.
 _CACHES: Dict[str, Callable[..., Any]] = {}
 
-# Process-wide bypass switch (see caching_disabled()).
-_DISABLED = False
+# Per-thread bypass switch (see caching_disabled()).  Thread-local rather
+# than a module global so a benchmark thread measuring the uncached
+# baseline cannot disable caching for concurrent service requests.
+_LOCAL = threading.local()
+
+# Lazily computed source-tree fingerprint (see code_version()); guarded by
+# _FINGERPRINT_LOCK and reset by clear_caches().
+_FINGERPRINT: Optional[str] = None
+_FINGERPRINT_LOCK = threading.Lock()
+
+
+def _bypassed() -> bool:
+    return getattr(_LOCAL, "disabled", False)
 
 
 def _hashable(args: tuple, kwargs: dict) -> bool:
@@ -55,7 +75,7 @@ def memoized(fn: F) -> F:
 
     @functools.wraps(fn)
     def wrapper(*args: Any, **kwargs: Any) -> Any:
-        if _DISABLED or not _hashable(args, kwargs):
+        if _bypassed() or not _hashable(args, kwargs):
             return fn(*args, **kwargs)
         return cached(*args, **kwargs)
 
@@ -76,9 +96,18 @@ def cache_stats() -> Dict[str, Tuple[int, int, int]]:
 
 
 def clear_caches() -> None:
-    """Empty every registered cache (for cold-start benchmarks and tests)."""
+    """Empty every registered cache (for cold-start benchmarks and tests).
+
+    Also drops the memoized :func:`code_version` fingerprint so the next
+    caller re-hashes the source tree -- a test that monkeypatches the
+    fingerprint (or an embedder that hot-reloads modules) gets a coherent
+    value after clearing.
+    """
+    global _FINGERPRINT
     for fn in _CACHES.values():
         fn.cache_clear()
+    with _FINGERPRINT_LOCK:
+        _FINGERPRINT = None
 
 
 @contextmanager
@@ -86,13 +115,40 @@ def caching_disabled() -> Iterator[None]:
     """Temporarily bypass every cache built with :func:`memoized`.
 
     Used by the benchmark runner to measure the uncached baseline of a
-    sweep without reverting the refactor.  Not thread-safe (flips a
-    process-wide flag), which is fine for the serial benchmark loop.
+    sweep without reverting the refactor.  The switch is thread-local:
+    only the calling thread bypasses its caches, so concurrent service
+    worker threads keep their hits.
     """
-    global _DISABLED
-    previous = _DISABLED
-    _DISABLED = True
+    previous = _bypassed()
+    _LOCAL.disabled = True
     try:
         yield
     finally:
-        _DISABLED = previous
+        _LOCAL.disabled = previous
+
+
+def code_version() -> str:
+    """Fingerprint of the installed ``repro`` source tree (16 hex chars).
+
+    A stable hash over every ``*.py`` file under the package root, in
+    sorted relative-path order.  The persistent result store bakes it into
+    every entry's key so results computed by older code can never be
+    served by newer code, and :class:`~repro.estimator.registry.Scenario`
+    stamps it into result metadata (visible in ``--json`` output and the
+    HTTP API).  Computed once per process and cached; reset by
+    :func:`clear_caches`.
+    """
+    global _FINGERPRINT
+    with _FINGERPRINT_LOCK:
+        if _FINGERPRINT is None:
+            import repro
+
+            root = Path(repro.__file__).resolve().parent
+            digest = hashlib.sha256()
+            for path in sorted(root.rglob("*.py")):
+                digest.update(str(path.relative_to(root)).encode())
+                digest.update(b"\0")
+                digest.update(path.read_bytes())
+                digest.update(b"\0")
+            _FINGERPRINT = digest.hexdigest()[:16]
+        return _FINGERPRINT

@@ -9,24 +9,35 @@ estimator.  This subsystem gives every figure/table driver one engine:
 * :mod:`repro.estimator.registry` -- a string-keyed registry of
   :class:`Scenario` objects returning structured records, driving the
   ``python -m repro`` CLI so new scenarios need zero CLI edits.
+* :mod:`repro.estimator.serialize` -- the one JSON serialization shared by
+  the CLI, the HTTP service and the persistent store, so every surface
+  emits byte-identical documents.
 * :mod:`repro.core.cache` (re-exported here) -- memoization of pure
-  sub-model calls keyed on frozen dataclass inputs, shared by every sweep.
+  sub-model calls keyed on frozen dataclass inputs, shared by every sweep,
+  plus the :func:`code_version` fingerprint the result store keys on.
 """
 
 from repro.core.cache import (
     cache_stats,
     caching_disabled,
     clear_caches,
+    code_version,
     memoized,
 )
 from repro.estimator.registry import (
     Scenario,
     ScenarioResult,
+    UnknownParamsError,
     all_sections,
     available_scenarios,
     get_scenario,
     register_scenario,
     run_scenario,
+)
+from repro.estimator.serialize import (
+    dumps_results,
+    finite,
+    parse_override_value,
 )
 from repro.estimator.sweep import (
     Axis,
@@ -44,15 +55,20 @@ __all__ = [
     "MinimizeResult",
     "Scenario",
     "ScenarioResult",
+    "UnknownParamsError",
     "all_sections",
     "available_scenarios",
     "cache_stats",
     "caching_disabled",
     "clear_caches",
+    "code_version",
+    "dumps_results",
+    "finite",
     "get_scenario",
     "grid",
     "memoized",
     "minimize",
+    "parse_override_value",
     "register_scenario",
     "run_scenario",
     "sweep",

@@ -18,6 +18,8 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.core.cache import code_version
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -34,6 +36,26 @@ class ScenarioResult:
             "metadata": dict(self.metadata),
             "records": [dict(record) for record in self.records],
         }
+
+
+class UnknownParamsError(ValueError):
+    """A parameter override names keys the scenario does not accept.
+
+    The single source of the "does not accept parameter(s)" message: the
+    CLI maps it to ``parser.error`` (exit 2), the HTTP API to a 400 body,
+    and the job engine lets it propagate to the submitter.
+    """
+
+    def __init__(self, scenario: str, keys, supported) -> None:
+        self.scenario = scenario
+        self.keys = list(keys)
+        self.supported = list(supported)
+        named = ", ".join(repr(k) for k in self.keys)
+        accepted = ", ".join(self.supported) or "(none)"
+        super().__init__(
+            f"scenario {scenario!r} does not accept parameter(s) {named}; "
+            f"supported: {accepted}"
+        )
 
 
 @dataclass(frozen=True)
@@ -59,7 +81,12 @@ class Scenario:
     in_all: bool = True
 
     def run(self, jobs: int = 1, **params: Any) -> ScenarioResult:
-        return self.build(jobs=jobs, **params)
+        result = self.build(jobs=jobs, **params)
+        # Stamp the code fingerprint so every surface (CLI --json, HTTP
+        # API, persistent store) can tell which source tree produced the
+        # numbers.  setdefault keeps a build's own version field, if any.
+        result.metadata.setdefault("version", code_version())
+        return result
 
     def accepted_params(self) -> Optional[frozenset]:
         """Override names ``build`` accepts, or ``None`` if it takes any.
@@ -74,6 +101,15 @@ class Scenario:
         ):
             return None
         return frozenset(sig.parameters) - {"jobs"}
+
+    def validate_params(self, params: Dict[str, Any]) -> None:
+        """Raise :class:`UnknownParamsError` for keys ``build`` rejects."""
+        accepted = self.accepted_params()
+        if accepted is None:
+            return
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise UnknownParamsError(self.name, unknown, sorted(accepted))
 
 
 _REGISTRY: Dict[str, Scenario] = {}

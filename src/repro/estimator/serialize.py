@@ -1,0 +1,65 @@
+"""Shared JSON serialization for the CLI and the estimation service.
+
+The ``python -m repro --json`` output is the contract every other surface
+must match byte-for-byte: the HTTP API (``GET /estimate``), the persistent
+result store, and the golden tests all funnel through the helpers here so
+there is exactly one place where scenario results become JSON text.
+
+* :func:`finite` -- replace non-finite floats with ``None`` so the emitted
+  JSON is RFC-valid.  Infeasible sweep points legitimately carry
+  ``math.inf`` (e.g. no distance meets the fig11_idle rate target at short
+  periods); strict JSON consumers reject the bare ``Infinity`` token
+  Python would otherwise emit.
+* :func:`dumps_results` -- the exact serialization the CLI prints: a list
+  of ``ScenarioResult.to_json()`` dicts, sanitized, ``indent=2``.
+* :func:`parse_override_value` -- the CLI's ``--param KEY=VALUE`` value
+  parsing (Python literal when possible, raw string otherwise), reused by
+  the HTTP API's query parameters so ``?target_error=1e-11`` means the
+  same thing as ``--param target_error=1e-11``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import math
+from typing import Any, Dict, List
+
+
+def finite(obj: Any) -> Any:
+    """Recursively replace non-finite floats with ``None`` (RFC-valid JSON).
+
+    Tuples flatten to lists -- ``json.dumps`` would emit them as arrays
+    anyway, so the serialized text is unchanged, but callers can follow
+    this with ``allow_nan=False`` knowing nothing non-finite survives at
+    any nesting depth.
+    """
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, dict):
+        return {key: finite(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [finite(value) for value in obj]
+    return obj
+
+
+def dumps_results(results: List[Dict[str, Any]]) -> str:
+    """Serialize scenario results exactly as ``python -m repro --json`` does.
+
+    The returned string has no trailing newline; the CLI adds one via
+    ``print`` and the HTTP API appends one explicitly, so both emit
+    byte-identical documents.
+    """
+    return json.dumps(finite(results), indent=2, allow_nan=False)
+
+
+def parse_override_value(raw: str) -> Any:
+    """Parse one parameter-override value the way the CLI does.
+
+    Python literals (``1e-11``, ``3``, ``(1, 2)``, ``True``) become their
+    value; anything else stays a string.
+    """
+    try:
+        return ast.literal_eval(raw)
+    except (SyntaxError, ValueError):
+        return raw

@@ -1,0 +1,44 @@
+"""Estimation service: persistent result store + concurrent serving layer.
+
+Turns the one-shot ``python -m repro`` pipeline into a long-lived service:
+
+* :mod:`repro.service.store` -- content-addressed on-disk store keyed by
+  ``(scenario, canonical params, code fingerprint)``; gives repeated CLI
+  runs and the server warm-start hits, invalidated automatically when the
+  installed source changes.
+* :mod:`repro.service.jobs` -- thread-pool job engine with request
+  coalescing (identical in-flight requests share one computation),
+  priority-FIFO scheduling, per-job status and cancellation.
+* :mod:`repro.service.api` -- stdlib HTTP JSON API (``/scenarios``,
+  ``/estimate``, ``/jobs/<id>``, ``/healthz``, ``/stats``) whose
+  ``/estimate`` bodies are byte-identical to ``python -m repro --json``.
+* :mod:`repro.service.client` -- ``urllib`` client + :func:`local_service`
+  context manager used by tests, benchmarks and examples.
+
+Start a server with ``python -m repro serve`` (see the README's
+"Serving" section).
+"""
+
+from repro.service.client import ServiceClient, ServiceError, local_service
+from repro.service.jobs import Job, JobEngine, JobError
+from repro.service.store import (
+    ResultStore,
+    canonical_params,
+    default_store_dir,
+    result_key,
+    run_with_store,
+)
+
+__all__ = [
+    "Job",
+    "JobEngine",
+    "JobError",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "canonical_params",
+    "default_store_dir",
+    "local_service",
+    "result_key",
+    "run_with_store",
+]

@@ -1,0 +1,338 @@
+"""Stdlib-only HTTP JSON API over the scenario registry.
+
+Endpoints (all JSON):
+
+* ``GET /healthz``                -- liveness + code version + uptime.
+* ``GET /scenarios``              -- registered scenarios and their params.
+* ``GET /estimate?scenario=<s>&<key>=<value>...``
+                                  -- synchronous estimate.  The body is
+                                     **byte-identical** to
+                                     ``python -m repro <s> --json`` with
+                                     the same ``--param`` overrides
+                                     (same serializer, same newline).
+                                     Add ``async=1`` to get ``202`` with a
+                                     job id instead of blocking.
+* ``GET /jobs/<id>``              -- job status/progress (result inlined
+                                     once done).
+* ``DELETE /jobs/<id>``           -- cancel a queued job.
+* ``GET /stats``                  -- store, job-engine and sub-model-cache
+                                     counters.
+
+Query parameter values are parsed exactly like CLI ``--param`` values
+(Python literal when possible, string otherwise), and validated against
+the scenario's signature before anything runs: an unknown scenario is 404,
+an unknown parameter key is 400 with the offending key named.  ``scenario``
+and ``async`` are reserved query keys.
+
+Run via ``python -m repro serve`` (see :func:`serve`).  The server is
+``ThreadingHTTPServer``: each request gets a thread, and concurrent
+identical estimates coalesce in the :class:`JobEngine` to one computation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.cache import cache_stats, code_version
+from repro.estimator.registry import (
+    UnknownParamsError,
+    available_scenarios,
+    get_scenario,
+)
+from repro.estimator.serialize import (
+    dumps_results,
+    finite,
+    parse_override_value,
+)
+from repro.service.jobs import JobEngine
+from repro.service.store import ResultStore, default_store_dir
+
+
+class Service:
+    """The in-process service: one store + one job engine + bookkeeping."""
+
+    def __init__(
+        self, store: Optional[ResultStore] = None, workers: int = 2
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.engine = JobEngine(store=self.store, workers=workers)
+        self.started_at = time.time()
+
+    def close(self) -> None:
+        self.engine.shutdown(wait=True)
+
+    # -- endpoint payloads -----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": code_version(),
+            "uptime_s": time.time() - self.started_at,
+            "scenarios": len(available_scenarios()),
+        }
+
+    def scenarios(self) -> Dict[str, Any]:
+        out: List[Dict[str, Any]] = []
+        for name in available_scenarios():
+            scenario = get_scenario(name)
+            accepted = scenario.accepted_params()
+            out.append({
+                "name": name,
+                "description": scenario.description,
+                "params": sorted(accepted) if accepted is not None else None,
+            })
+        return {"scenarios": out}
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "store": self.store.stats(),
+            "jobs": self.engine.stats(),
+            "cache": {
+                name: {"hits": h, "misses": m, "size": s}
+                for name, (h, m, s) in cache_stats().items()
+            },
+        }
+
+
+class ApiError(Exception):
+    """An error with an HTTP status and a JSON body."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        super().__init__(payload.get("error", ""))
+        self.status = status
+        self.payload = payload
+
+
+def _parse_estimate_query(query: str) -> Tuple[str, Dict[str, Any], bool]:
+    """(scenario, params, async) from an /estimate query string.
+
+    Raises :class:`ApiError` mirroring the CLI's up-front validation: the
+    offending key is named, and nothing has run yet.
+    """
+    pairs = parse_qs(query, keep_blank_values=True)
+    names = pairs.pop("scenario", [])
+    if not names:
+        raise ApiError(400, {"error": "missing required query key 'scenario'"})
+    name = names[-1]
+    want_async = pairs.pop("async", ["0"])[-1].lower() in ("1", "true", "yes")
+    try:
+        scenario = get_scenario(name)
+    except KeyError:
+        raise ApiError(404, {
+            "error": f"unknown scenario {name!r}",
+            "available": list(available_scenarios()),
+        })
+    params = {key: parse_override_value(vals[-1]) for key, vals in pairs.items()}
+    if "jobs" in params:
+        raise ApiError(400, {
+            "error": "'jobs' is not a scenario parameter (results are "
+            "worker-count invariant; the service always computes with "
+            "jobs=1)",
+            "keys": ["jobs"],
+        })
+    try:
+        scenario.validate_params(params)
+    except UnknownParamsError as exc:
+        raise ApiError(400, {"error": str(exc), "keys": exc.keys})
+    return name, params, want_async
+
+
+def estimate_body(result_json: Dict[str, Any]) -> bytes:
+    """The /estimate response body: CLI ``--json`` stdout, byte-for-byte.
+
+    The CLI prints ``dumps_results([...])`` through ``print`` (which adds
+    the trailing newline); the API appends it explicitly.
+    """
+    return (dumps_results([result_json]) + "\n").encode()
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "ServiceServer"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        # finite() first so even a non-finite *parameter* echoed in a job
+        # snapshot (e.g. ?target_error=1e999) serializes as null, keeping
+        # every body RFC-valid -- same contract as /estimate.
+        body = json.dumps(finite(payload), indent=2, allow_nan=False) + "\n"
+        self._send(status, body.encode())
+
+    # -- routing ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, service.healthz())
+            elif parts == ["scenarios"]:
+                self._send_json(200, service.scenarios())
+            elif parts == ["stats"]:
+                self._send_json(200, service.stats())
+            elif parts == ["estimate"]:
+                self._handle_estimate(url.query)
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send_json(200, self._job_payload(parts[1]))
+            elif not parts:
+                self._send_json(200, {
+                    "service": "repro",
+                    "endpoints": [
+                        "/healthz", "/scenarios", "/estimate", "/jobs/<id>",
+                        "/stats",
+                    ],
+                })
+            else:
+                self._send_json(404, {"error": f"no route for {url.path!r}"})
+        except ApiError as exc:
+            self._send_json(exc.status, exc.payload)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        parts = [p for p in urlsplit(self.path).path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "jobs":
+            try:
+                cancelled = service.engine.cancel(parts[1])
+                job = service.engine.job(parts[1])
+            except KeyError:
+                # Unknown id, or a terminal job pruned from the retention
+                # window between the two calls: either way it is gone.
+                self._send_json(404, {"error": f"unknown job {parts[1]!r}"})
+                return
+            self._send_json(200 if cancelled else 409, {
+                "cancelled": cancelled,
+                "job": job.snapshot(),
+            })
+            return
+        self._send_json(404, {"error": f"no route for {self.path!r}"})
+
+    # -- handlers --------------------------------------------------------------
+
+    def _handle_estimate(self, query: str) -> None:
+        service = self.server.service
+        name, params, want_async = _parse_estimate_query(query)
+        if want_async:
+            job = service.engine.submit(name, params)
+            self._send_json(202, {"job": job.snapshot(),
+                                  "status_url": f"/jobs/{job.id}"})
+            return
+        try:
+            result = service.engine.estimate(name, params)
+        except Exception as exc:
+            raise ApiError(500, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "scenario": name,
+            })
+        self._send(200, estimate_body(result.to_json()))
+
+    def _job_payload(self, job_id: str) -> Dict[str, Any]:
+        try:
+            job = self.server.service.engine.job(job_id)
+        except KeyError:
+            raise ApiError(404, {"error": f"unknown job {job_id!r}"})
+        payload = {"job": job.snapshot()}
+        if job.result is not None:
+            payload["result"] = job.result.to_json()  # _send_json sanitizes
+        return payload
+
+
+class ServiceServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: Service, verbose: bool = False):
+        super().__init__(address, ServiceHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[Service] = None,
+    verbose: bool = False,
+) -> ServiceServer:
+    """Bind a service server (``port=0`` picks an ephemeral port)."""
+    return ServiceServer((host, port), service or Service(), verbose=verbose)
+
+
+def serve(argv: Optional[List[str]] = None) -> None:
+    """``python -m repro serve`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve scenario estimates over HTTP "
+        "(persistent store + coalescing job engine).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8000,
+        help="TCP port; 0 picks an ephemeral port (default: 8000)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="job-engine worker threads (default: 2)",
+    )
+    parser.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persistent result store location (default: $REPRO_STORE_DIR "
+        f"or {default_store_dir()})",
+    )
+    parser.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port to PATH once listening (for scripts "
+        "using --port 0)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every request"
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    store = ResultStore(args.store_dir)
+    service = Service(store=store, workers=args.workers)
+    httpd = make_server(args.host, args.port, service, verbose=args.verbose)
+    host, port = httpd.server_address[:2]
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(f"{port}\n")
+    print(
+        f"repro service listening on http://{host}:{port} "
+        f"(store: {store.root}, workers: {args.workers})",
+        flush=True,
+    )
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        service.close()
+
+
+def run_in_thread(httpd: ServiceServer) -> threading.Thread:
+    """Start ``serve_forever`` on a daemon thread (tests, examples)."""
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    return thread

@@ -1,0 +1,150 @@
+"""Small HTTP client for the estimation service (stdlib ``urllib`` only).
+
+Used by the tests, ``benchmarks/bench_service.py`` and
+``examples/service_demo.py``.  :func:`local_service` spins up a real
+in-process server on an ephemeral port and yields a connected client, so
+everything downstream exercises the same HTTP surface a remote caller
+would -- including the byte-identity guarantee of ``/estimate``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+from urllib.error import HTTPError
+from urllib.parse import quote
+from urllib.request import Request, urlopen
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service; carries status + decoded body."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        error = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {error}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Thin wrapper over the service's HTTP endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _request(self, path: str, method: str = "GET") -> Tuple[int, bytes]:
+        request = Request(self.base_url + path, method=method)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read()
+        except HTTPError as exc:
+            body = exc.read()
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                payload = body.decode(errors="replace")
+            raise ServiceError(exc.code, payload) from None
+
+    def _json(self, path: str, method: str = "GET") -> Any:
+        _, body = self._request(path, method)
+        return json.loads(body)
+
+    @staticmethod
+    def _query(scenario: str, params: Dict[str, Any], **extra: str) -> str:
+        # Values are formatted with str() so the server's literal parsing
+        # sees exactly what a CLI user would type after --param KEY=.
+        pairs = [("scenario", scenario)]
+        pairs.extend(sorted((k, str(v)) for k, v in params.items()))
+        pairs.extend(sorted(extra.items()))
+        return "&".join(f"{quote(k)}={quote(str(v))}" for k, v in pairs)
+
+    # -- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("/healthz")
+
+    def scenarios(self) -> Dict[str, Any]:
+        return self._json("/scenarios")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("/stats")
+
+    def estimate_raw(self, scenario: str, **params: Any) -> bytes:
+        """Synchronous estimate, raw body (byte-identical to CLI --json)."""
+        _, body = self._request(f"/estimate?{self._query(scenario, params)}")
+        return body
+
+    def estimate(self, scenario: str, **params: Any) -> Dict[str, Any]:
+        """Synchronous estimate, decoded: one scenario-result dict."""
+        return json.loads(self.estimate_raw(scenario, **params))[0]
+
+    def submit(self, scenario: str, **params: Any) -> Dict[str, Any]:
+        """Asynchronous estimate: returns the job snapshot payload."""
+        query = self._query(scenario, params, **{"async": "1"})
+        return self._json(f"/estimate?{query}")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json(f"/jobs/{quote(job_id)}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        try:
+            return self._json(f"/jobs/{quote(job_id)}", method="DELETE")
+        except ServiceError as exc:
+            if exc.status == 409 and isinstance(exc.payload, dict):
+                return exc.payload  # already running/terminal: not cancelled
+            raise
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll_s: float = 0.02
+    ) -> Dict[str, Any]:
+        """Poll ``/jobs/<id>`` until the job is terminal."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["job"]["state"] in ("done", "failed", "cancelled"):
+                return payload
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {payload['job']['state']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+
+@contextmanager
+def local_service(
+    store_dir: Optional[str] = None,
+    workers: int = 2,
+    host: str = "127.0.0.1",
+) -> Iterator[ServiceClient]:
+    """Run a real service on an ephemeral port; yield a connected client.
+
+    Without ``store_dir`` the store lives in a temporary directory that is
+    removed on exit, so tests and demos never touch a user's real store.
+    """
+    from repro.service.api import Service, make_server, run_in_thread
+    from repro.service.store import ResultStore
+
+    tmpdir: Optional[tempfile.TemporaryDirectory] = None
+    if store_dir is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-store-")
+        store_dir = tmpdir.name
+    service = Service(store=ResultStore(store_dir), workers=workers)
+    httpd = make_server(host, 0, service)
+    thread = run_in_thread(httpd)
+    try:
+        bound_host, port = httpd.server_address[:2]
+        yield ServiceClient(f"http://{bound_host}:{port}")
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.close()
+        thread.join(timeout=5)
+        if tmpdir is not None:
+            tmpdir.cleanup()

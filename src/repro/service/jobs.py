@@ -1,0 +1,322 @@
+"""Thread-pool job engine with request coalescing for scenario estimates.
+
+The serving layer between the HTTP API and the estimation pipeline:
+
+* **Coalescing** -- requests are keyed by the persistent store's content
+  address ``(scenario, canonical params, code version)``.  While a job for
+  a key is queued or running, identical submissions return the *same*
+  :class:`Job` instead of enqueueing a duplicate, so N concurrent clients
+  asking for ``table2`` cost exactly one ``build()``.
+* **Priority FIFO** -- lower ``priority`` runs first; within a priority
+  level jobs run in submission order (a monotonic sequence number breaks
+  ties, so the heap is a stable FIFO).  A coalesced duplicate at a more
+  urgent priority promotes the queued job rather than waiting at the old
+  one.
+* **Status/progress & cancellation** -- every job exposes a snapshot dict
+  (state, progress, timings, error) for the ``/jobs/<id>`` endpoint;
+  queued jobs can be cancelled, running ones cannot (scenario builds are
+  pure compute with no safe interruption point).
+* **Store integration** -- workers consult the :class:`ResultStore` before
+  computing and persist what they compute, so the engine both serves from
+  and feeds the warm-start path the CLI uses.
+
+Workers run scenarios with ``jobs=1``: parallelism comes from serving many
+requests concurrently, not from forking a multiprocessing pool per
+request inside a server thread.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.estimator.registry import ScenarioResult, get_scenario
+from repro.service.store import ResultStore, result_key
+
+# Terminal jobs kept for /jobs/<id> inspection before the oldest are
+# dropped; bounds the engine's memory on a long-lived server.
+DEFAULT_RETAIN_TERMINAL = 256
+
+# Job states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+_TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+_PROGRESS = {QUEUED: 0.0, RUNNING: 0.5, DONE: 1.0, FAILED: 1.0, CANCELLED: 1.0}
+
+
+class JobError(RuntimeError):
+    """A waited-on job finished without a result (failed or cancelled)."""
+
+
+class Job:
+    """One scheduled estimate.  State transitions are owned by the engine."""
+
+    def __init__(
+        self,
+        job_id: str,
+        scenario: str,
+        params: Dict[str, Any],
+        key: str,
+        priority: int,
+    ) -> None:
+        self.id = job_id
+        self.scenario = scenario
+        self.params = params
+        self.key = key
+        self.priority = priority
+        self.state = QUEUED
+        self.error: Optional[str] = None
+        self.result: Optional[ScenarioResult] = None
+        self.from_store = False
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.done = threading.Event()
+
+    @property
+    def progress(self) -> float:
+        return _PROGRESS[self.state]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data view of the job for the ``/jobs/<id>`` endpoint."""
+        return {
+            "id": self.id,
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "key": self.key,
+            "priority": self.priority,
+            "state": self.state,
+            "progress": self.progress,
+            "error": self.error,
+            "from_store": self.from_store,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    def wait(self, timeout: Optional[float] = None) -> ScenarioResult:
+        """Block until terminal; returns the result or raises JobError."""
+        if not self.done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.id} ({self.scenario}) still {self.state} "
+                f"after {timeout}s"
+            )
+        if self.result is None:
+            raise JobError(
+                f"job {self.id} ({self.scenario}) {self.state}: {self.error}"
+            )
+        return self.result
+
+
+class JobEngine:
+    """Priority thread pool computing scenario estimates through the store."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 2,
+        retain_terminal: int = DEFAULT_RETAIN_TERMINAL,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retain_terminal < 1:
+            raise ValueError("retain_terminal must be >= 1")
+        self.store = store
+        self.retain_terminal = retain_terminal
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._jobs: Dict[str, Job] = {}
+        self._terminal_order: Deque[str] = collections.deque()
+        self._inflight: Dict[str, Job] = {}
+        self._counters = {
+            "submitted": 0,
+            "coalesced": 0,
+            "computed": 0,
+            "store_hits": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-job-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        scenario: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> Job:
+        """Schedule an estimate; identical in-flight requests coalesce.
+
+        The scenario name and parameter keys are validated here, up front,
+        so a bad request fails at submission instead of surfacing later as
+        a failed job.
+        """
+        params = dict(params or {})
+        spec = get_scenario(scenario)  # raises KeyError for unknown names
+        spec.validate_params(params)  # raises UnknownParamsError (ValueError)
+        key = result_key(scenario, params)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine is shut down")
+            inflight = self._inflight.get(key)
+            if inflight is not None and inflight.state not in _TERMINAL:
+                self._counters["coalesced"] += 1
+                if inflight.state == QUEUED and priority < inflight.priority:
+                    # An urgent duplicate promotes the queued job: push a
+                    # second heap entry at the better priority; whichever
+                    # entry pops second finds the job no longer QUEUED and
+                    # is discarded by the worker loop.
+                    inflight.priority = priority
+                    self._queue.put((priority, next(self._seq), inflight))
+                return inflight
+            seq = next(self._seq)
+            job = Job(f"job-{seq:06d}", scenario, params, key, priority)
+            self._jobs[job.id] = job
+            self._inflight[key] = job
+            self._counters["submitted"] += 1
+            self._queue.put((priority, seq, job))
+        return job
+
+    def estimate(
+        self,
+        scenario: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> ScenarioResult:
+        """Synchronous estimate: store hit if possible, else submit + wait."""
+        params = dict(params or {})
+        if self.store is not None:
+            cached = self.store.get(scenario, params)
+            if cached is not None:
+                with self._lock:
+                    self._counters["store_hits"] += 1
+                return cached
+        return self.submit(scenario, params, priority).wait(timeout)
+
+    # -- inspection / control --------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            members = list(self._jobs.values())
+        return [job.snapshot() for job in members]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running/terminal jobs return False."""
+        job = self.job(job_id)
+        with self._lock:
+            if job.state != QUEUED:
+                return False
+            job.state = CANCELLED
+            job.error = "cancelled before start"
+            job.finished_at = time.time()
+            self._inflight.pop(job.key, None)
+            self._counters["cancelled"] += 1
+            self._retire_locked(job)
+        job.done.set()
+        return True
+
+    def _retire_locked(self, job: Job) -> None:
+        """Record a terminal job; drop the oldest beyond the retention cap.
+
+        Caller holds ``self._lock``.  Keeps ``_jobs`` (and the results the
+        Job objects pin) bounded on a long-lived server while recent job
+        ids stay inspectable via ``/jobs/<id>``.
+        """
+        self._terminal_order.append(job.id)
+        while len(self._terminal_order) > self.retain_terminal:
+            old_id = self._terminal_order.popleft()
+            old = self._jobs.get(old_id)
+            if old is not None and old.state in _TERMINAL:
+                del self._jobs[old_id]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            out: Dict[str, Any] = dict(self._counters)
+            out["queued"] = self._queue.qsize()
+            out["jobs_tracked"] = len(self._jobs)
+        return out
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the worker threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put((float("inf"), next(self._seq), None))
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    # -- worker loop -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            _, _, job = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                if job.state != QUEUED:  # cancelled while queued
+                    continue
+                job.state = RUNNING
+                job.started_at = time.time()
+            try:
+                result = None
+                if self.store is not None:
+                    result = self.store.get(job.scenario, job.params)
+                if result is not None:
+                    job.from_store = True
+                    with self._lock:
+                        self._counters["store_hits"] += 1
+                else:
+                    result = get_scenario(job.scenario).run(
+                        jobs=1, **job.params
+                    )
+                    with self._lock:
+                        self._counters["computed"] += 1
+                    if self.store is not None:
+                        self.store.put(result, job.params)
+            except Exception as exc:  # surface through the job, not the thread
+                with self._lock:
+                    job.state = FAILED
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.finished_at = time.time()
+                    self._inflight.pop(job.key, None)
+                    self._counters["failed"] += 1
+                    self._retire_locked(job)
+                job.done.set()
+                continue
+            with self._lock:
+                job.result = result
+                job.state = DONE
+                job.finished_at = time.time()
+                self._inflight.pop(job.key, None)
+                self._retire_locked(job)
+            job.done.set()

@@ -1,0 +1,300 @@
+"""Persistent on-disk result store for scenario estimates.
+
+Content-addressed over ``(scenario, canonicalized params, code-version
+fingerprint)``: the key is a SHA-256 of all three, so a parameter override
+written in any order or spelling that parses to the same values hits the
+same entry, and a change to the installed ``repro`` source (a new
+:func:`repro.core.cache.code_version`) makes every old entry unreachable
+-- stale results can never be served by newer code.  :meth:`purge_stale`
+garbage-collects those unreachable files.
+
+Layout (``REPRO_STORE_DIR`` env var, or ``~/.cache/repro/store``)::
+
+    <root>/<key[:2]>/<key>.json     # one entry per (scenario, params, version)
+
+Entries are written atomically (temp file + ``os.replace``) so concurrent
+readers never observe a torn file, and the store object is safe to share
+between the service's worker threads.
+
+Fidelity: scenario results are not plain JSON -- records carry ``inf`` for
+infeasible sweep points and metadata may use float-keyed dicts (e.g.
+fig11_idle's per-rate-target optima) or tuples.  Entries therefore use a
+reversible encoding (``{"__kv__": [...]}`` for non-string-keyed dicts,
+``{"__tuple__": [...]}`` for tuples, native ``Infinity``/``NaN`` tokens
+for non-finite floats) so a round-tripped :class:`ScenarioResult` renders
+and serializes byte-identically to a freshly computed one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.cache import code_version
+from repro.estimator.registry import ScenarioResult, run_scenario
+
+DEFAULT_STORE_ENV = "REPRO_STORE_DIR"
+
+
+def default_store_dir() -> Path:
+    """Store root: ``$REPRO_STORE_DIR`` or ``~/.cache/repro/store``."""
+    env = os.environ.get(DEFAULT_STORE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "store"
+
+
+def canonical_params(params: Optional[Dict[str, Any]]) -> str:
+    """Canonical JSON form of a parameter-override dict.
+
+    Key-order independent (``sort_keys``) and whitespace-free, so two
+    requests for the same overrides always address the same entry.
+    Values go through the store's type-faithful encoding first, so e.g. a
+    tuple and a list override get *different* addresses (a build may treat
+    them differently); truly non-JSON objects fall back to ``repr``, which
+    only needs to be stable -- the canonical form is hashed, never
+    decoded.
+    """
+    return json.dumps(
+        _encode(dict(params or {})),
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+
+
+def result_key(
+    scenario: str,
+    params: Optional[Dict[str, Any]] = None,
+    version: Optional[str] = None,
+) -> str:
+    """Content address of one estimate: sha256(scenario, params, version)."""
+    version = version if version is not None else code_version()
+    payload = f"{scenario}\n{canonical_params(params)}\n{version}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- reversible encoding -------------------------------------------------------
+
+
+def _encode(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and not (
+            set(obj) in ({"__kv__"}, {"__tuple__"})
+        ):
+            return {k: _encode(v) for k, v in obj.items()}
+        # Non-string keys (float rate targets, tuples) -- or a dict that
+        # would collide with an escape marker -- go through the kv escape.
+        return {"__kv__": [[_encode(k), _encode(v)] for k, v in obj.items()]}
+    if isinstance(obj, tuple):
+        return {"__tuple__": [_encode(v) for v in obj]}
+    if isinstance(obj, list):
+        return [_encode(v) for v in obj]
+    return obj
+
+
+def _decode(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if set(obj) == {"__kv__"}:
+            return {_freeze(_decode(k)): _decode(v) for k, v in obj["__kv__"]}
+        if set(obj) == {"__tuple__"}:
+            return tuple(_decode(v) for v in obj["__tuple__"])
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    return obj
+
+
+def _freeze(key: Any) -> Any:
+    # Decoded dict keys must be hashable; lists inside a kv key become
+    # tuples (tuples proper round-trip through the __tuple__ escape).
+    if isinstance(key, list):
+        return tuple(_freeze(v) for v in key)
+    return key
+
+
+class ResultStore:
+    """Thread-safe persistent store of :class:`ScenarioResult` entries."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_store_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "evictions": 0,
+            "invalidations": 0,
+        }
+        # Entry count maintained incrementally so stats() needs no
+        # directory walk; seeded with one scan at construction.  Exact for
+        # this process; another process writing the same root is only
+        # reflected at the next construction (use len(store) for a fresh
+        # on-disk census).
+        self._entries = sum(1 for _ in self.root.glob("*/*.json"))
+
+    # -- internals -------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _bump(self, counter: str, by: int = 1, entries_delta: int = 0) -> None:
+        with self._lock:
+            self._counters[counter] += by
+            self._entries = max(0, self._entries + entries_delta)
+
+    # -- core API --------------------------------------------------------------
+
+    def get(
+        self, scenario: str, params: Optional[Dict[str, Any]] = None
+    ) -> Optional[ScenarioResult]:
+        """Stored result for (scenario, params) at the current code version.
+
+        Returns ``None`` on miss.  A corrupt entry, or one recorded under a
+        different fingerprint than its key claims (should never happen, but
+        the store is defensive about hand-edited files), is evicted and
+        counted as an invalidation.
+        """
+        key = result_key(scenario, params)
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self._bump("misses")
+            return None
+        try:
+            payload = json.loads(text)
+            if payload["version"] != code_version():
+                raise ValueError("fingerprint mismatch")
+            result = ScenarioResult(
+                scenario=payload["scenario"],
+                records=tuple(_decode(r) for r in payload["records"]),
+                metadata=_decode(payload["metadata"]),
+            )
+        except (ValueError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            self._bump("invalidations", entries_delta=-1)
+            self._bump("misses")
+            return None
+        self._bump("hits")
+        return result
+
+    def put(
+        self, result: ScenarioResult, params: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Persist a result under its content address; returns the key."""
+        key = result_key(result.scenario, params)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "scenario": result.scenario,
+            "params": _encode(dict(params or {})),
+            "version": code_version(),
+            "records": [_encode(dict(r)) for r in result.records],
+            "metadata": _encode(dict(result.metadata)),
+        }
+        # json allows Infinity/NaN tokens by default; the store format is
+        # internal, so non-finite floats round-trip natively here (the
+        # RFC-valid sanitization happens at serialization time, in
+        # repro.estimator.serialize).
+        text = json.dumps(payload)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            existed = path.exists()
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        self._bump("puts", entries_delta=0 if existed else 1)
+        return key
+
+    def evict(
+        self, scenario: str, params: Optional[Dict[str, Any]] = None
+    ) -> bool:
+        """Remove one entry; returns whether it existed."""
+        path = self._path(result_key(scenario, params))
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        self._bump("evictions", entries_delta=-1)
+        return True
+
+    def clear(self) -> int:
+        """Remove every entry (any version); returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        self._bump("evictions", removed, entries_delta=-removed)
+        return removed
+
+    def purge_stale(self) -> int:
+        """Drop entries recorded under a different code fingerprint.
+
+        Fingerprint changes already make old entries unreachable (the
+        version is part of the key); this garbage-collects their files.
+        """
+        current = code_version()
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                version = json.loads(path.read_text()).get("version")
+            except (OSError, ValueError):
+                version = None
+            if version != current:
+                path.unlink(missing_ok=True)
+                removed += 1
+        self._bump("invalidations", removed, entries_delta=-removed)
+        return removed
+
+    def __len__(self) -> int:
+        """Exact on-disk entry census (walks the store directory)."""
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/put/eviction counters plus the tracked entry count.
+
+        ``entries`` is maintained incrementally (no directory walk), so
+        polling ``/stats`` stays O(1) however large the store grows; use
+        ``len(store)`` for a fresh on-disk census.
+        """
+        with self._lock:
+            out: Dict[str, Any] = dict(self._counters)
+            out["entries"] = self._entries
+        out["root"] = str(self.root)
+        out["version"] = code_version()
+        return out
+
+
+def run_with_store(
+    name: str,
+    *,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    **params: Any,
+) -> ScenarioResult:
+    """Run a scenario, consulting a persistent store before computing.
+
+    The estimation pipeline's warm-start entry point: the CLI (when
+    ``REPRO_STORE_DIR`` is set), the service's job workers, and the
+    benchmarks all come through here, so a result computed by any of them
+    is reused by all of them.
+    """
+    if store is None:
+        return run_scenario(name, jobs=jobs, **params)
+    cached = store.get(name, params)
+    if cached is not None:
+        return cached
+    result = run_scenario(name, jobs=jobs, **params)
+    store.put(result, params)
+    return result

@@ -7,6 +7,9 @@ them bit-identically (text) / within 1e-12 (numerics).
 
 import json
 import math
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -79,6 +82,29 @@ class TestCLI:
             main(["fig6b", "--param", "bogus_knob=3"])
         err = capsys.readouterr().err
         assert "fig6b" in err and "bogus_knob" in err
+
+    def test_bad_param_exit_code_and_message_pinned(self, capsys):
+        """argparse's up-front rejection: exit code 2, key named on stderr."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig6b", "--param", "bad=1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "fig6b" in err and "'bad'" in err and "supported" in err
+
+    def test_bad_param_exit_code_pinned_in_subprocess(self):
+        """The real process exit status, not just the in-process SystemExit."""
+        repo_root = Path(__file__).parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fig6b", "--param", "bad=1"],
+            capture_output=True,
+            cwd=repo_root,
+            env=env,
+        )
+        assert proc.returncode == 2
+        assert b"'bad'" in proc.stderr and b"fig6b" in proc.stderr
+        assert proc.stdout == b""
 
     def test_unknown_param_validated_before_any_output(self, capsys):
         """A param one section rejects must not abort mid-invocation."""

@@ -1,0 +1,554 @@
+"""Service-layer tests: store fidelity, job coalescing, HTTP bit-identity.
+
+The acceptance contract: ``GET /estimate?scenario=<s>`` must be
+byte-identical to ``python -m repro <s> --json`` for every registered
+scenario, N concurrent identical requests must cost exactly one
+``build()``, and store round-trips must preserve the golden numerics.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.core.cache as cache
+from repro.__main__ import main
+from repro.core.cache import (
+    caching_disabled,
+    clear_caches,
+    code_version,
+    memoized,
+)
+from repro.estimator import registry
+from repro.estimator.registry import ScenarioResult, run_scenario
+from repro.estimator.serialize import (
+    dumps_results,
+    finite,
+    parse_override_value,
+)
+from repro.service.client import ServiceError, local_service
+from repro.service.jobs import JobEngine, JobError
+from repro.service.store import (
+    ResultStore,
+    canonical_params,
+    result_key,
+    run_with_store,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+SCENARIOS = sorted(registry.available_scenarios())
+
+
+@pytest.fixture
+def probe():
+    """A registered test scenario counting its build() calls."""
+    state = {"calls": 0, "lock": threading.Lock()}
+
+    def build(jobs=1, delay=0.05, x=1):
+        with state["lock"]:
+            state["calls"] += 1
+        time.sleep(delay)
+        return ScenarioResult(
+            scenario="svc_probe",
+            records=({"x": x, "value": 2 * x},),
+            metadata={"delay": delay},
+        )
+
+    registry.register_scenario(registry.Scenario(
+        name="svc_probe",
+        description="service-test probe",
+        build=build,
+        render=lambda r: f"x={r.records[0]['x']}",
+        in_all=False,
+    ))
+    yield state
+    registry._REGISTRY.pop("svc_probe", None)
+
+
+@pytest.fixture
+def failing():
+    def build(jobs=1):
+        raise RuntimeError("intentional probe failure")
+
+    registry.register_scenario(registry.Scenario(
+        name="svc_fail",
+        description="always fails",
+        build=build,
+        render=lambda r: "",
+        in_all=False,
+    ))
+    yield
+    registry._REGISTRY.pop("svc_fail", None)
+
+
+# -- serialization -------------------------------------------------------------
+
+
+class TestSerialize:
+    def test_finite_nulls_nonfinite_only(self):
+        data = {"a": float("inf"), "b": [float("nan"), 1.5], "c": "x"}
+        assert finite(data) == {"a": None, "b": [None, 1.5], "c": "x"}
+
+    def test_parse_override_value(self):
+        assert parse_override_value("1e-11") == 1e-11
+        assert parse_override_value("3") == 3
+        assert parse_override_value("(1, 2)") == (1, 2)
+        assert parse_override_value("True") is True
+        assert parse_override_value("ours") == "ours"
+
+    def test_dumps_results_matches_cli_contract(self, capsys):
+        main(["--json", "table1"])
+        out = capsys.readouterr().out
+        result = run_scenario("table1")
+        assert out == dumps_results([result.to_json()]) + "\n"
+
+
+# -- code-version fingerprint --------------------------------------------------
+
+
+class TestCodeVersion:
+    def test_stable_hex(self):
+        v = code_version()
+        assert len(v) == 16
+        int(v, 16)  # hex
+        assert code_version() == v
+
+    def test_clear_caches_recomputes_same_value(self):
+        v = code_version()
+        clear_caches()
+        assert cache._FINGERPRINT is None
+        assert code_version() == v
+
+    def test_version_stamped_into_metadata_and_json(self, capsys):
+        assert run_scenario("table1").metadata["version"] == code_version()
+        main(["--json", "table1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["metadata"]["version"] == code_version()
+
+
+# -- cache thread-safety -------------------------------------------------------
+
+
+class TestCacheThreadSafety:
+    def test_caching_disabled_is_thread_local(self):
+        calls = {"n": 0}
+        lock = threading.Lock()
+
+        @memoized
+        def fn(x):
+            with lock:
+                calls["n"] += 1
+            return x * 2
+
+        assert fn(7) == 14  # warm: exactly one underlying call
+        barrier = threading.Barrier(5)
+        errors = []
+
+        def bypassing():
+            barrier.wait()
+            with caching_disabled():
+                for _ in range(50):
+                    if fn(7) != 14:
+                        errors.append("bad value in bypass thread")
+
+        def hitting():
+            barrier.wait()
+            for _ in range(200):
+                if fn(7) != 14:
+                    errors.append("bad value in cached thread")
+
+        threads = [threading.Thread(target=bypassing)]
+        threads += [threading.Thread(target=hitting) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # 1 warm call + 50 bypassed calls; the 800 cached-thread calls all
+        # hit.  The old module-global flag let the bypass thread disable
+        # caching for everyone, inflating this count nondeterministically.
+        assert calls["n"] == 51
+
+    def test_disabled_flag_restored_after_exception(self):
+        with pytest.raises(ValueError):
+            with caching_disabled():
+                raise ValueError("boom")
+        assert not cache._bypassed()
+
+
+# -- persistent store ----------------------------------------------------------
+
+
+class TestResultStore:
+    def test_round_trip_is_render_and_json_identical(self, tmp_path):
+        # fig11_idle is the adversarial case: inf volumes in the records
+        # and a float-keyed dict in the metadata.
+        store = ResultStore(tmp_path)
+        fresh = run_with_store("fig11_idle", store=store)
+        loaded = run_with_store("fig11_idle", store=store)
+        scenario = registry.get_scenario("fig11_idle")
+        assert scenario.render(loaded) == scenario.render(fresh)
+        assert loaded.to_json() == fresh.to_json()
+        assert store.stats()["hits"] == 1
+
+    def test_key_is_param_order_independent(self):
+        a = result_key("fig13", {"target_error": 1e-11, "x": 1})
+        b = result_key("fig13", {"x": 1, "target_error": 1e-11})
+        assert a == b
+        assert result_key("fig13", {"x": 2}) != result_key("fig13", {"x": 1})
+        assert canonical_params(None) == canonical_params({})
+
+    def test_key_is_type_faithful(self):
+        # A build may treat a tuple and a list differently, so they must
+        # not share one content address.
+        assert (
+            result_key("fig13", {"x": (1, 2)})
+            != result_key("fig13", {"x": [1, 2]})
+        )
+
+    def test_get_misses_on_different_params(self, tmp_path, probe):
+        store = ResultStore(tmp_path)
+        run_with_store("svc_probe", store=store, x=1, delay=0.0)
+        assert store.get("svc_probe", {"x": 2, "delay": 0.0}) is None
+        assert store.get("svc_probe", {"delay": 0.0, "x": 1}) is not None
+
+    def test_run_with_store_computes_once(self, tmp_path, probe):
+        store = ResultStore(tmp_path)
+        first = run_with_store("svc_probe", store=store, delay=0.0)
+        second = run_with_store("svc_probe", store=store, delay=0.0)
+        assert probe["calls"] == 1
+        assert first.to_json() == second.to_json()
+
+    def test_evict_clear_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_with_store("table1", store=store)
+        run_with_store("fig6b", store=store)
+        assert len(store) == 2
+        assert store.stats()["entries"] == 2  # tracked, no directory walk
+        assert store.evict("table1") is True
+        assert store.evict("table1") is False
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.stats()["entries"] == 0
+        # A second handle seeds its tracked count from the disk census.
+        run_with_store("table1", store=store)
+        assert ResultStore(store.root).stats()["entries"] == 1
+
+    def test_fingerprint_change_invalidates(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        monkeypatch.setattr(cache, "_FINGERPRINT", "0" * 16)
+        result = run_scenario("table1")
+        store.put(result)
+        assert store.get("table1") is not None
+        monkeypatch.setattr(cache, "_FINGERPRINT", "1" * 16)
+        assert store.get("table1") is None  # unreachable under new version
+        assert len(store) == 1  # ...but the stale file lingers
+        assert store.purge_stale() == 1
+        assert len(store) == 0
+
+    def test_corrupt_entry_is_evicted_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_with_store("table1", store=store)
+        entry = next(store.root.glob("*/*.json"))
+        entry.write_text("{not json")
+        assert store.get("table1") is None
+        assert store.stats()["invalidations"] == 1
+        assert len(store) == 0
+
+    def test_env_var_sets_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "envstore"))
+        store = ResultStore()
+        assert store.root == tmp_path / "envstore"
+
+    def test_round_trip_preserves_golden_numerics(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_with_store("fig6b", store=store)
+        loaded = store.get("fig6b")
+        curve = {r["se_rounds"]: r["volume"] for r in loaded.records}
+        golden = json.loads((GOLDEN / "estimator_values.json").read_text())
+        expected = golden["fig6b"]
+        assert len(curve) == len(expected)
+        for (rounds, volume), (grounds, gvolume) in zip(
+            sorted(curve.items()), expected
+        ):
+            assert rounds == pytest.approx(grounds, abs=0.0)
+            assert volume == pytest.approx(gvolume, rel=1e-12)
+
+
+# -- job engine ----------------------------------------------------------------
+
+
+class TestJobEngine:
+    def test_concurrent_identical_requests_build_once(self, tmp_path, probe):
+        engine = JobEngine(store=ResultStore(tmp_path), workers=4)
+        barrier = threading.Barrier(8)
+        outputs = [None] * 8
+
+        def request(i):
+            barrier.wait()
+            result = engine.estimate("svc_probe", {"delay": 0.2})
+            outputs[i] = dumps_results([result.to_json()])
+
+        threads = [
+            threading.Thread(target=request, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        engine.shutdown()
+        assert probe["calls"] == 1
+        assert len(set(outputs)) == 1  # byte-identical bodies
+
+    def test_submit_coalesces_to_same_job_id(self, probe):
+        engine = JobEngine(workers=1)
+        jobs = [engine.submit("svc_probe", {"delay": 0.2}) for _ in range(5)]
+        assert len({job.id for job in jobs}) == 1
+        jobs[0].wait(timeout=10)
+        stats = engine.stats()
+        engine.shutdown()
+        assert stats["submitted"] == 1
+        assert stats["coalesced"] == 4
+        assert stats["computed"] == 1
+
+    def test_estimate_prefers_store_over_compute(self, tmp_path, probe):
+        store = ResultStore(tmp_path)
+        run_with_store("svc_probe", store=store, delay=0.0)
+        assert probe["calls"] == 1
+        engine = JobEngine(store=store, workers=1)
+        engine.estimate("svc_probe", {"delay": 0.0})
+        stats = engine.stats()
+        engine.shutdown()
+        assert probe["calls"] == 1  # never recomputed
+        assert stats["store_hits"] == 1
+        assert stats["submitted"] == 0
+
+    def test_failed_job_raises_with_message(self, failing):
+        engine = JobEngine(workers=1)
+        with pytest.raises(JobError, match="intentional probe failure"):
+            engine.estimate("svc_fail", timeout=10)
+        stats = engine.stats()
+        engine.shutdown()
+        assert stats["failed"] == 1
+
+    def test_cancel_queued_job(self, probe):
+        engine = JobEngine(workers=1)
+        blocker = engine.submit("svc_probe", {"delay": 0.3})
+        victim = engine.submit("svc_probe", {"delay": 0.3, "x": 9})
+        assert engine.cancel(victim.id) is True
+        assert victim.state == "cancelled"
+        assert victim.progress == 1.0
+        with pytest.raises(JobError, match="cancelled"):
+            victim.wait(timeout=10)
+        blocker.wait(timeout=10)
+        assert engine.cancel(blocker.id) is False  # already terminal
+        engine.shutdown()
+        assert probe["calls"] == 1  # victim never built
+
+    def test_priority_runs_before_fifo(self, probe):
+        engine = JobEngine(workers=1)
+        blocker = engine.submit("svc_probe", {"delay": 0.3})
+        low = engine.submit("svc_probe", {"delay": 0.0, "x": 2}, priority=5)
+        high = engine.submit("svc_probe", {"delay": 0.0, "x": 3}, priority=0)
+        low.wait(timeout=10)
+        high.wait(timeout=10)
+        blocker.wait(timeout=10)
+        engine.shutdown()
+        assert high.started_at < low.started_at
+
+    def test_coalesced_urgent_duplicate_promotes_priority(self, probe):
+        engine = JobEngine(workers=1)
+        blocker = engine.submit("svc_probe", {"delay": 0.3})
+        low = engine.submit("svc_probe", {"delay": 0.0, "x": 2}, priority=5)
+        mid = engine.submit("svc_probe", {"delay": 0.0, "x": 3}, priority=3)
+        dup = engine.submit("svc_probe", {"delay": 0.0, "x": 2}, priority=0)
+        assert dup is low  # coalesced...
+        assert low.priority == 0  # ...and promoted past the mid-priority job
+        for job in (blocker, low, mid):
+            job.wait(timeout=10)
+        engine.shutdown()
+        assert low.started_at < mid.started_at
+        assert probe["calls"] == 3  # promotion did not double-run the job
+
+    def test_terminal_jobs_are_pruned_beyond_retention(self, probe):
+        engine = JobEngine(workers=1, retain_terminal=2)
+        jobs = [
+            engine.submit("svc_probe", {"delay": 0.0, "x": i})
+            for i in range(4)
+        ]
+        for job in jobs:
+            job.wait(timeout=10)
+        engine.shutdown()
+        assert engine.stats()["jobs_tracked"] == 2
+        with pytest.raises(KeyError):
+            engine.job(jobs[0].id)
+        assert engine.job(jobs[-1].id) is jobs[-1]
+
+    def test_submit_validates_up_front(self, probe):
+        engine = JobEngine(workers=1)
+        with pytest.raises(KeyError):
+            engine.submit("no_such_scenario")
+        with pytest.raises(ValueError, match="bogus_knob"):
+            engine.submit("svc_probe", {"bogus_knob": 1})
+        engine.shutdown()
+        with pytest.raises(RuntimeError):
+            engine.submit("svc_probe")
+
+
+# -- HTTP API ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service_client():
+    with local_service(workers=4) as client:
+        yield client
+
+
+class TestHTTPApi:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_estimate_bit_identical_to_cli_json(
+        self, name, service_client, capsys
+    ):
+        main(["--json", name])
+        cli = capsys.readouterr().out.encode()
+        assert service_client.estimate_raw(name) == cli
+
+    def test_estimate_with_params_bit_identical(self, service_client, capsys):
+        main(["--json", "fig6b", "--param", "target_error=1e-9"])
+        cli = capsys.readouterr().out.encode()
+        api = service_client.estimate_raw("fig6b", target_error="1e-9")
+        assert api == cli
+
+    def test_healthz(self, service_client):
+        health = service_client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"] == code_version()
+        assert health["scenarios"] == len(SCENARIOS)
+
+    def test_scenarios_lists_registry(self, service_client):
+        listing = service_client.scenarios()["scenarios"]
+        by_name = {s["name"]: s for s in listing}
+        assert set(by_name) >= set(SCENARIOS)
+        assert "target_error" in by_name["fig6b"]["params"]
+
+    def test_unknown_scenario_404_names_alternatives(self, service_client):
+        with pytest.raises(ServiceError) as excinfo:
+            service_client.estimate_raw("nope")
+        assert excinfo.value.status == 404
+        assert "table2" in excinfo.value.payload["available"]
+
+    def test_unknown_param_400_names_key(self, service_client):
+        with pytest.raises(ServiceError) as excinfo:
+            service_client.estimate_raw("fig6b", bogus_knob=3)
+        assert excinfo.value.status == 400
+        assert excinfo.value.payload["keys"] == ["bogus_knob"]
+        assert "bogus_knob" in excinfo.value.payload["error"]
+
+    def test_missing_scenario_key_400(self, service_client):
+        with pytest.raises(ServiceError) as excinfo:
+            service_client._request("/estimate")
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_and_job_404(self, service_client):
+        with pytest.raises(ServiceError) as excinfo:
+            service_client._request("/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            service_client.job("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_async_job_lifecycle(self, service_client):
+        submitted = service_client.submit("fig6b", target_error="1e-10")
+        job_id = submitted["job"]["id"]
+        assert submitted["status_url"] == f"/jobs/{job_id}"
+        payload = service_client.wait(job_id, timeout=30)
+        assert payload["job"]["state"] == "done"
+        assert payload["job"]["progress"] == 1.0
+        assert payload["result"]["scenario"] == "fig6b"
+        assert payload["result"]["metadata"]["target_error"] == 1e-10
+        # Cancelling a finished job is a 409/no-op, not an error.
+        assert service_client.cancel(job_id)["cancelled"] is False
+
+    def test_concurrent_http_requests_coalesce(self, service_client, probe):
+        bodies = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def request(i):
+            barrier.wait()
+            bodies[i] = service_client.estimate_raw(
+                "svc_probe", delay="0.2", x="5"
+            )
+
+        threads = [
+            threading.Thread(target=request, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert probe["calls"] == 1
+        assert len(set(bodies)) == 1
+
+    def test_nonfinite_param_serializes_rfc_valid(self, service_client):
+        # parse_override_value('1e999') is float('inf'); the job snapshot
+        # echoing it must emit null, never a bare Infinity token.
+        submitted = service_client.submit("fig6b", target_error="1e999")
+        assert submitted["job"]["params"]["target_error"] is None
+        service_client.wait(submitted["job"]["id"], timeout=30)
+        _, raw = service_client._request(f"/jobs/{submitted['job']['id']}")
+        assert b"Infinity" not in raw
+        json.loads(raw)
+
+    def test_stats_endpoint_shape(self, service_client):
+        stats = service_client.stats()
+        assert {"hits", "misses", "puts"} <= set(stats["store"])
+        assert {"submitted", "coalesced", "computed"} <= set(stats["jobs"])
+        assert any("timing_model" in name for name in stats["cache"])
+
+
+# -- CLI warm start ------------------------------------------------------------
+
+
+class TestCLIStore:
+    def test_env_var_enables_bit_identical_warm_runs(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        main(["--json", "table2"])
+        cold = capsys.readouterr().out
+        clear_caches()
+        main(["--json", "table2"])
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert len(ResultStore(tmp_path)) == 1
+
+    def test_warm_text_render_identical_through_store(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # fig11_idle's float-keyed metadata must survive the store for the
+        # text renderer, not just for --json.
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        main(["fig11_idle"])
+        cold = capsys.readouterr().out
+        main(["fig11_idle"])
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_store_dir_flag_overrides_env(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env"))
+        main(["--json", "table1", "--store-dir", str(tmp_path / "flag")])
+        capsys.readouterr()
+        assert len(ResultStore(tmp_path / "flag")) == 1
+        assert not (tmp_path / "env").exists()
+
+    def test_store_off_by_default(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        main(["--json", "table1"])
+        capsys.readouterr()
+        # No store directory materializes anywhere under tmp_path.
+        assert list(tmp_path.iterdir()) == []
