@@ -1,19 +1,44 @@
-"""Bench: Monte-Carlo decoding engine throughput (DP matcher + dedup + sharding).
+"""Bench: Monte-Carlo decoding engine throughput (packed pipeline + dedup).
 
-Compares three ways of decoding a d-distance memory experiment:
+Two benchmark families, both written into ``BENCH_frame.json``:
 
-* per-shot baseline -- the pre-engine implementation: shot-by-shot loop
-  with networkx blossom matching (``matcher="blossom"``, ``dedup=False``),
-* dedup engine -- subset-DP matching on unique syndromes, scatter back,
-* sharded engine -- the above plus multiprocessing workers (sampling and
-  decoding both parallelized).
+* **Decode path** (:func:`test_engine_speedup_and_determinism`) -- the
+  established d=5 anchor comparing per-shot blossom (the pre-engine
+  implementation), dedup subset-DP, and the sharded engine.
+* **Packed frame pipeline** (:func:`packed_vs_unpacked`) -- end-to-end
+  sample+decode throughput at d=7, p=1e-3 for three engine
+  configurations:
 
-Acceptance anchor: at d=5, p=1e-3, 10k shots the engine path must deliver
->= 5x the per-shot baseline's shots/sec, and the engine must return
-bit-identical counts for 1 vs. 4 workers at a fixed seed.
+  - ``per_shot_baseline``: byte-per-bit sampling, per-shot decoding with
+    the whole-syndrome matcher (``packed=False``, ``dedup=False``,
+    ``decompose=False``) -- the repo's historical baseline convention;
+  - ``unpacked_engine``: byte-per-bit sampling + dedup batch decoding
+    with the whole-syndrome matcher (``packed=False``,
+    ``decompose=False``) -- the engine as it stood before the packed
+    pipeline;
+  - ``packed_engine``: the default path -- compiled bit-packed sampling,
+    packed-key dedup, cluster-decomposed batch-DP MWPM.
+
+  Acceptance anchors: the packed engine must deliver >= 5x the per-shot
+  baseline's shots/sec, and the packed and unpacked configurations must
+  return bit-identical failure counts for the same seed (also asserted,
+  on full detector tables, in ``tests/test_sim_compiled.py``).
+
+Methodology: every configuration is warmed up first (compiles the packed
+program, fills the decoder's cluster cache the same number of warm shots
+for each config) and then timed as the median of ``TIMING_REPEATS``
+fixed-seed runs; results land in ``BENCH_frame.json`` so CI can track
+the trajectory per PR.
+
+Run directly:  PYTHONPATH=src python benchmarks/bench_decode_engine.py [--quick]
+As pytest:     PYTHONPATH=src python -m pytest benchmarks/bench_decode_engine.py -q
 """
 
+import argparse
+import json
+import statistics
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -22,6 +47,16 @@ from repro.decoder.graph import DecodingGraph
 from repro.decoder.mwpm import MWPMDecoder
 from repro.sim.frame import FrameSimulator
 from repro.sim.memory import memory_circuit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_frame.json"
+
+PACKED_SPEEDUP_TARGET = 5.0
+# Floor on the packed path vs the dedup engine it replaced: measured
+# 4.4-5.5x across runs (the workload's blossom tail varies per seed),
+# asserted with a machine-variance margin so slower CI runners do not
+# flake.
+ENGINE_SPEEDUP_FLOOR = 4.0
 
 
 def _decode_throughput(decoder, detectors, dedup):
@@ -36,7 +71,7 @@ def _report(distance, p, shots):
     sim = FrameSimulator(circuit, rng=np.random.default_rng(47))
     dem = sim.detector_error_model()
     graph = DecodingGraph.from_dem(dem)
-    baseline = MWPMDecoder(graph, matcher="blossom")
+    baseline = MWPMDecoder(graph, matcher="blossom", decompose=False)
     engine_decoder = MWPMDecoder(graph)
     detectors, observables = sim.sample(shots)
     unique = np.unique(detectors, axis=0).shape[0]
@@ -52,6 +87,7 @@ def _report(distance, p, shots):
     start = time.perf_counter()
     engine = DecodingEngine(circuit, engine_decoder, shard_shots=1024, workers=4)
     engine.run(shots, seed=47)
+    engine.close()
     sharded_rate = shots / (time.perf_counter() - start)
 
     print(
@@ -61,6 +97,128 @@ def _report(distance, p, shots):
         f"{sharded_rate:8.0f}/s"
     )
     return base_rate, fast_rate
+
+
+# -- packed pipeline ------------------------------------------------------------
+
+
+# Timing repeats per configuration; the median absorbs the +/-15%
+# single-run wobble observed even on an idle machine (same methodology as
+# bench_estimator.py).
+TIMING_REPEATS = 3
+
+
+def _timed_engine_run(engine, shots, warm_shots, seed):
+    """Warm an engine (compile + caches), then median-time repeated runs.
+
+    Each repeat samples *fresh* noise (distinct seeds): repeating one seed
+    would let the decoder's cluster cache replay the identical syndromes
+    and report a rate no fresh workload ever sees.  The first repeat runs
+    the canonical ``seed`` and provides the returned result.
+    """
+    engine.run(warm_shots, seed=seed + 1)
+    rates = []
+    result = None
+    for i in range(TIMING_REPEATS):
+        start = time.perf_counter()
+        res = engine.run(shots, seed=seed + 100 * i)
+        rates.append(shots / (time.perf_counter() - start))
+        if i == 0:
+            result = res
+    return result, statistics.median(rates)
+
+
+def packed_vs_unpacked(distance=7, p=1e-3, shots=6000, warm_shots=2048, seed=29):
+    """End-to-end sample+decode throughput: packed vs unpacked configs.
+
+    Both engine configurations use large shards (4096): at d=7 most
+    syndromes are unique, so throughput comes from batch effects -- the
+    decoder's vectorized defect-count groups and the packed sampler's
+    whole-row ops -- which amortize better over bigger shards.
+    """
+    circuit = memory_circuit(distance, distance + 1, p)
+    dem = FrameSimulator(circuit).detector_error_model()
+    graph = DecodingGraph.from_dem(dem)
+
+    packed = DecodingEngine(circuit, MWPMDecoder(graph), shard_shots=4096)
+    res_packed, rate_packed = _timed_engine_run(packed, shots, warm_shots, seed)
+
+    unpacked = DecodingEngine(
+        circuit, MWPMDecoder(graph, decompose=False),
+        shard_shots=4096, packed=False,
+    )
+    res_unpacked, rate_unpacked = _timed_engine_run(
+        unpacked, shots, warm_shots, seed
+    )
+    # The two timed configurations run *different matchers* (decomposed vs
+    # whole-syndrome -- both exact MWPM), so their failure counts are only
+    # tie-equal; hold them to the usual degenerate-tie sliver.
+    assert res_packed.shots == res_unpacked.shots
+    assert abs(res_packed.failures - res_unpacked.failures) <= max(5, shots // 500)
+
+    # Bit-identity of the packed vs unpacked *pipelines* is asserted on a
+    # same-decoder pair, where equality is exact by construction.
+    shared = MWPMDecoder(graph)
+    check_shots = min(shots, 2048)
+    res_a = DecodingEngine(circuit, shared, shard_shots=4096).run(
+        check_shots, seed=seed
+    )
+    res_b = DecodingEngine(
+        circuit, shared, shard_shots=4096, packed=False
+    ).run(check_shots, seed=seed)
+    assert (res_a.shots, res_a.failures) == (res_b.shots, res_b.failures), (
+        "packed and unpacked engines must agree bit-for-bit at a fixed seed"
+    )
+
+    # The per-shot baseline is far too slow to run at full scale; time a
+    # slice and extrapolate the rate (it is O(shots) by construction; the
+    # slice must stay large enough that the heavy-tailed blossom work per
+    # draw does not dominate the between-repeat variance).
+    base_shots = max(shots // 5, 256)
+    baseline = DecodingEngine(
+        circuit, MWPMDecoder(graph, matcher="blossom", decompose=False),
+        shard_shots=1024, packed=False,
+    )
+    sim = baseline._sim
+    base_rates = []
+    for i in range(TIMING_REPEATS):
+        start = time.perf_counter()
+        detectors, observables = sim.sample(
+            base_shots, rng=np.random.default_rng(seed + 100 * i)
+        )
+        predictions = baseline.decoder.decode_batch(detectors, dedup=False)
+        (predictions[:, 0] ^ observables[:, 0]).sum()
+        base_rates.append(base_shots / (time.perf_counter() - start))
+    rate_baseline = statistics.median(base_rates)
+
+    row = {
+        "distance": distance,
+        "p": p,
+        "shots": shots,
+        "warm_shots": warm_shots,
+        "per_shot_baseline_shots_per_s": rate_baseline,
+        "unpacked_engine_shots_per_s": rate_unpacked,
+        "packed_engine_shots_per_s": rate_packed,
+        "speedup_vs_per_shot_baseline": rate_packed / rate_baseline,
+        "speedup_vs_unpacked_engine": rate_packed / rate_unpacked,
+        "failures": res_packed.failures,
+        "bit_identical_to_unpacked": True,
+    }
+    print(
+        f"  d={distance} p={p:g} shots={shots} | per-shot "
+        f"{rate_baseline:7.0f}/s  unpacked engine {rate_unpacked:7.0f}/s  "
+        f"packed engine {rate_packed:7.0f}/s "
+        f"({row['speedup_vs_per_shot_baseline']:.1f}x vs per-shot, "
+        f"{row['speedup_vs_unpacked_engine']:.1f}x vs unpacked engine)"
+    )
+    return row
+
+
+def _write_output(rows: dict) -> None:
+    OUTPUT.write_text(json.dumps(rows, indent=2) + "\n")
+
+
+# -- pytest entry points --------------------------------------------------------
 
 
 def test_engine_speedup_and_determinism(benchmark):
@@ -73,8 +231,10 @@ def test_engine_speedup_and_determinism(benchmark):
     circuit = memory_circuit(5, 6, 1e-3)
     results = []
     for workers in (1, 4):
-        engine = DecodingEngine(circuit, "mwpm", shard_shots=1024, workers=workers)
-        res = engine.run(10_000, seed=11)
+        with DecodingEngine(
+            circuit, "mwpm", shard_shots=1024, workers=workers
+        ) as engine:
+            res = engine.run(10_000, seed=11)
         results.append((res.shots, res.failures, res.shards))
     print(f"  1w vs 4w at fixed seed: {results[0]} vs {results[1]}")
     assert results[0] == results[1], "engine must be worker-count invariant"
@@ -97,3 +257,44 @@ def test_union_find_engine_throughput(benchmark):
     print()
     print(f"  union_find d=5: {result.failures}/{result.shots} failures")
     assert result.shots == 5_000
+
+
+def _assert_speedups(row: dict) -> None:
+    assert row["speedup_vs_per_shot_baseline"] >= PACKED_SPEEDUP_TARGET, (
+        f"packed engine only {row['speedup_vs_per_shot_baseline']:.1f}x over "
+        f"the per-shot baseline (target {PACKED_SPEEDUP_TARGET}x)"
+    )
+    assert row["speedup_vs_unpacked_engine"] >= ENGINE_SPEEDUP_FLOOR, (
+        f"packed engine only {row['speedup_vs_unpacked_engine']:.1f}x over "
+        f"the unpacked dedup engine (floor {ENGINE_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_packed_engine_speedup():
+    """d=7, p=1e-3 packed acceptance point; writes BENCH_frame.json."""
+    print()
+    row = packed_vs_unpacked()
+    _write_output({"packed_vs_unpacked": row})
+    _assert_speedups(row)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced shot counts for CI smoke runs",
+    )
+    args = parser.parse_args()
+    print("packed frame pipeline (d=7, p=1e-3):")
+    if args.quick:
+        row = packed_vs_unpacked(shots=1500, warm_shots=512)
+    else:
+        row = packed_vs_unpacked()
+    _write_output({"packed_vs_unpacked": row})
+    _assert_speedups(row)
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

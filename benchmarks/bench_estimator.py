@@ -8,8 +8,18 @@ Times every registered analytic scenario three ways and writes
   sub-models from scratch);
 * ``serial_s`` -- the pipeline as shipped, cold caches at the start of
   the run (caches warm up *during* the sweep, which is the point);
-* ``jobs{N}_s`` -- the same with the sweep sharded over N worker
-  processes (worker-invariant results).
+* ``jobs{N}_s`` -- the same with ``jobs=N`` requested; the sweep engine's
+  measured serial fallback decides per grid whether a pool actually
+  spawns.
+
+Methodology: every timing is the **median of** ``REPEATS`` runs after one
+untimed warm-up (first-run effects: imports, allocator growth, the sweep
+engine's one-off pool calibration).  Medians replaced the earlier
+best-of-3 because sub-millisecond scenarios produced ``cache_speedup``
+below 1.0 out of pure timer noise -- a single lucky/unlucky run no longer
+decides the artifact.  Caches are cleared before each repeat; the code
+fingerprint is re-derived outside the timed region (process-lifetime
+state, not sweep work).
 
 Run directly:  PYTHONPATH=src python benchmarks/bench_estimator.py
 As pytest:     PYTHONPATH=src python -m pytest benchmarks/bench_estimator.py -q
@@ -18,6 +28,7 @@ As pytest:     PYTHONPATH=src python -m pytest benchmarks/bench_estimator.py -q
 from __future__ import annotations
 
 import json
+import statistics
 import time
 from pathlib import Path
 
@@ -26,16 +37,16 @@ from repro.estimator.registry import available_scenarios, run_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_estimator.json"
-REPEATS = 3
+REPEATS = 5
 JOBS = 4
 # Scenarios whose dominant cost is the estimator sweep (the decoder
 # Monte-Carlo benchmarks live in bench_decode_engine.py).
 SWEEP_SCENARIOS = ("fig11", "fig13", "fig14", "table2")
 
 
-def _best_of(fn, repeats: int = REPEATS) -> float:
-    best = float("inf")
-    for _ in range(repeats):
+def _median_of(fn, repeats: int = REPEATS) -> float:
+    times = []
+    for attempt in range(repeats + 1):
         clear_caches()
         # Re-derive the code fingerprint outside the timed region: it is
         # process-lifetime state (clear_caches drops it), not part of the
@@ -43,24 +54,26 @@ def _best_of(fn, repeats: int = REPEATS) -> float:
         code_version()
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        if attempt:  # attempt 0 is the untimed warm-up
+            times.append(time.perf_counter() - start)
+    return statistics.median(times)
 
 
 def time_scenario(name: str) -> dict:
-    serial = _best_of(lambda: run_scenario(name, jobs=1))
-    sharded = _best_of(lambda: run_scenario(name, jobs=JOBS))
+    serial = _median_of(lambda: run_scenario(name, jobs=1))
+    sharded = _median_of(lambda: run_scenario(name, jobs=JOBS))
 
     def uncached():
         with caching_disabled():
             run_scenario(name, jobs=1)
 
-    uncached_serial = _best_of(uncached)
+    uncached_serial = _median_of(uncached)
     return {
         "uncached_serial_s": uncached_serial,
         "serial_s": serial,
         f"jobs{JOBS}_s": sharded,
         "cache_speedup": uncached_serial / serial if serial else float("inf"),
+        "repeats": REPEATS,
     }
 
 

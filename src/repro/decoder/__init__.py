@@ -4,13 +4,16 @@ Decoder stack
 -------------
 
 Every decoder satisfies the :class:`~repro.decoder.base.Decoder` protocol
-(``decode`` one syndrome row, ``decode_batch`` many, ``num_observables``)
-and inherits :class:`~repro.decoder.base.BatchDecoder`, whose
-``decode_batch`` deduplicates syndromes (rows are bit-packed and compared
-as fixed-width byte keys) and decodes each unique row once.
-Implementations:
+(``decode`` one syndrome row, ``decode_batch`` many byte-per-bit rows,
+``decode_packed`` many bit-packed rows, ``num_observables``) and inherits
+:class:`~repro.decoder.base.BatchDecoder`, which deduplicates syndromes
+once per batch -- bit-packed rows *are* the fixed-width dedup keys, so the
+packed sampling pipeline hands its output straight to the decoder with no
+pack/unpack round trip.  Implementations:
 
-* :class:`MWPMDecoder` -- minimum-weight perfect matching ("mwpm").
+* :class:`MWPMDecoder` -- minimum-weight perfect matching ("mwpm"), with
+  exact defect-cluster decomposition, a cross-shot cluster cache, and a
+  vectorized subset-DP matcher on the batch path.
 * :class:`UnionFindDecoder` -- cluster growth + peeling ("union_find").
 * :class:`SequentialCNOTDecoder` -- correlated two-pass MWPM for
   transversal-CNOT circuits ("sequential"; needs ``detector_meta``).

@@ -59,6 +59,7 @@ def run_decoding_experiment(
     workers: int = 1,
     shard_shots: int = 1024,
     target_failures: Optional[int] = None,
+    packed: bool = True,
 ) -> LogicalErrorResult:
     """Sample a noisy circuit and decode it through the batched engine.
 
@@ -74,8 +75,10 @@ def run_decoding_experiment(
         shard_shots: shots per engine shard.
         target_failures: when set, stream shard batches until this many
             failures are seen (or ``shots`` is exhausted).
+        packed: run the bit-packed compiled pipeline (default) or the
+            byte-per-bit reference path; results are bit-identical.
     """
-    engine = DecodingEngine(
+    with DecodingEngine(
         circuit,
         decoder,
         detector_meta=detector_meta,
@@ -83,11 +86,12 @@ def run_decoding_experiment(
         observable=observable,
         shard_shots=shard_shots,
         workers=workers,
-    )
-    if target_failures is not None:
-        result = engine.run_until(target_failures, max_shots=shots, seed=seed)
-    else:
-        result = engine.run(shots, seed=seed)
+        packed=packed,
+    ) as engine:
+        if target_failures is not None:
+            result = engine.run_until(target_failures, max_shots=shots, seed=seed)
+        else:
+            result = engine.run(shots, seed=seed)
     return LogicalErrorResult(shots=result.shots, failures=result.failures)
 
 
@@ -102,6 +106,7 @@ def memory_logical_error(
     decoder: str = "mwpm",
     workers: int = 1,
     target_failures: Optional[int] = None,
+    packed: bool = True,
 ) -> LogicalErrorResult:
     """Logical error of a distance-d memory experiment (whole run)."""
     circuit = memory_circuit(distance, rounds, p, basis)
@@ -112,6 +117,7 @@ def memory_logical_error(
         decoder=decoder,
         workers=workers,
         target_failures=target_failures,
+        packed=packed,
     )
 
 def per_round_rate(result: LogicalErrorResult, rounds: int) -> float:
@@ -134,6 +140,7 @@ def cnot_experiment_rate(
     *,
     workers: int = 1,
     target_failures: Optional[int] = None,
+    packed: bool = True,
 ) -> Tuple[LogicalErrorResult, int]:
     """Two-patch transversal-CNOT experiment; returns (result, num_cnots).
 
@@ -164,6 +171,7 @@ def cnot_experiment_rate(
         detector_meta=builder.detector_meta,
         workers=workers,
         target_failures=target_failures,
+        packed=packed,
     )
     return result, len(cnot_rounds)
 

@@ -8,9 +8,21 @@ syndrome alone covers the overwhelming majority of shots, so deduplication
 turns an O(shots) decode loop into an O(unique) one.
 
 :class:`BatchDecoder` hoists the previously-triplicated per-shot loops of
-the MWPM, union-find, and sequential decoders into one place and routes
-them through :func:`numpy.unique`.  Subclasses implement ``decode`` and
-expose ``num_observables``.
+the MWPM, union-find, and sequential decoders into one place.  Batches
+arrive in one of two layouts:
+
+* :meth:`~BatchDecoder.decode_batch` -- uint8 one-byte-per-bit rows; the
+  rows are bit-packed internally to build fixed-width dedup keys.
+* :meth:`~BatchDecoder.decode_packed` -- rows *already* bit-packed per
+  shot, exactly what :meth:`repro.sim.frame.FrameSimulator.sample_packed`
+  emits.  The packed rows are the dedup keys directly, so the packed
+  pipeline never materializes (or re-packs) a byte-per-bit syndrome table;
+  only the unique rows are unpacked for decoding.
+
+Subclasses implement ``decode`` (one shot) and expose
+``num_observables``; they may override :meth:`~BatchDecoder._decode_unique`
+to decode the unique syndrome set as a batch (the MWPM decoder vectorizes
+its subset-DP matcher this way).
 """
 
 from __future__ import annotations
@@ -26,7 +38,8 @@ class Decoder(Protocol):
 
     A decoder maps one uint8 syndrome row over the circuit's detectors to a
     uint8 prediction row over its logical observables, and decodes batches
-    of shots with :meth:`decode_batch`.
+    of shots with :meth:`decode_batch` (byte-per-bit rows) or
+    :meth:`decode_packed` (bit-packed per-shot rows).
     """
 
     @property
@@ -36,9 +49,13 @@ class Decoder(Protocol):
 
     def decode_batch(self, syndromes: np.ndarray) -> np.ndarray: ...
 
+    def decode_packed(
+        self, packed: np.ndarray, num_detectors: int
+    ) -> np.ndarray: ...
+
 
 class BatchDecoder:
-    """Base class providing ``decode_batch`` via syndrome deduplication.
+    """Base class providing batched decoding via syndrome deduplication.
 
     Subclasses implement :meth:`decode` (one shot) and expose
     ``num_observables`` (as an attribute or property); batching, dedup,
@@ -49,6 +66,13 @@ class BatchDecoder:
 
     def decode(self, syndrome: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def _decode_unique(self, syndromes: np.ndarray) -> np.ndarray:
+        """Decode deduplicated syndrome rows; hook for batch-aware subclasses."""
+        out = np.zeros((syndromes.shape[0], self.num_observables), dtype=np.uint8)
+        for i in range(syndromes.shape[0]):
+            out[i] = self.decode(syndromes[i])
+        return out
 
     def decode_batch(self, syndromes: np.ndarray, *, dedup: bool = True) -> np.ndarray:
         """Decode many shots; returns (shots, num_observables) flips.
@@ -69,27 +93,70 @@ class BatchDecoder:
             for i in range(syndromes.shape[0]):
                 out[i] = self.decode(syndromes[i])
             return out
-        first_index, inverse = _unique_rows(syndromes)
-        unique_out = np.zeros((first_index.shape[0], num_obs), dtype=np.uint8)
-        for i, row in enumerate(first_index):
-            unique_out[i] = self.decode(syndromes[row])
+        if syndromes.shape[1] == 0:
+            packed = np.zeros((syndromes.shape[0], 0), dtype=np.uint8)
+        else:
+            packed = np.packbits(syndromes, axis=1)
+        return self.decode_packed(packed, syndromes.shape[1])
+
+    def decode_packed(
+        self, packed: np.ndarray, num_detectors: int, *, dedup: bool = True
+    ) -> np.ndarray:
+        """Decode bit-packed per-shot syndromes; returns byte-per-bit flips.
+
+        Args:
+            packed: uint8 array of shape (shots, ceil(num_detectors/8));
+                each row is one shot's detector bits packed with
+                ``np.packbits`` (big bit order) -- the layout
+                :meth:`repro.sim.frame.FrameSimulator.sample_packed`
+                returns.  The rows double as the dedup keys, so no
+                pack/unpack round trip happens on the batch; only unique
+                rows are unpacked for the decoder.
+            num_detectors: number of valid bits per row.
+            dedup: as in :meth:`decode_batch`.
+
+        Returns:
+            uint8 array of shape (shots, num_observables).
+        """
+        packed = np.ascontiguousarray(packed, dtype=np.uint8)
+        shots = packed.shape[0]
+        num_obs = self.num_observables
+        if shots == 0:
+            return np.zeros((0, num_obs), dtype=np.uint8)
+        if not dedup:
+            syndromes = _unpack_rows(packed, num_detectors)
+            out = np.zeros((shots, num_obs), dtype=np.uint8)
+            for i in range(shots):
+                out[i] = self.decode(syndromes[i])
+            return out
+        first_index, inverse = _unique_packed_rows(packed)
+        unique_syndromes = _unpack_rows(packed[first_index], num_detectors)
+        unique_out = np.asarray(
+            self._decode_unique(unique_syndromes), dtype=np.uint8
+        )
         return unique_out[inverse]
 
 
-def _unique_rows(rows: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
-    """(first_index, inverse) of the unique rows of a uint8 bit matrix.
+def _unpack_rows(packed: np.ndarray, num_detectors: int) -> np.ndarray:
+    """Bit-packed rows back to byte-per-bit rows (trailing pad dropped)."""
+    if num_detectors == 0:
+        return np.zeros((packed.shape[0], 0), dtype=np.uint8)
+    return np.unpackbits(packed, axis=1, count=num_detectors)
 
-    Rows are bit-packed and compared as fixed-width byte strings, which is
-    substantially faster than ``np.unique(..., axis=0)`` sorting full-width
-    rows -- this sits on the Monte-Carlo hot path.
+
+def _unique_packed_rows(packed: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """(first_index, inverse) of the unique rows of a bit-packed matrix.
+
+    Rows are compared as fixed-width byte strings, which is substantially
+    faster than ``np.unique(..., axis=0)`` sorting full-width rows -- this
+    sits on the Monte-Carlo hot path.
     """
-    if rows.shape[1] == 0:
+    if packed.shape[1] == 0:
         # Zero-width rows (a circuit with no detectors) are all identical.
         return (
             np.zeros(1, dtype=np.intp),
-            np.zeros(rows.shape[0], dtype=np.intp),
+            np.zeros(packed.shape[0], dtype=np.intp),
         )
-    packed = np.ascontiguousarray(np.packbits(rows, axis=1))
     keys = packed.view(np.dtype((np.void, packed.shape[1]))).reshape(-1)
     _, first_index, inverse = np.unique(keys, return_index=True, return_inverse=True)
     return first_index, np.asarray(inverse).reshape(-1)

@@ -14,11 +14,18 @@ throughput-oriented:
   syndrome row once (rows bit-packed and deduplicated as fixed-width byte
   keys) and scatters predictions back.  In low-``p`` regimes most shots
   are duplicates or all-zero.
+* **Bit-packed hot path** -- by default shards sample through the
+  compiled bit-packed pipeline (:mod:`repro.sim.compiled`) and hand the
+  packed per-shot keys straight to ``decode_packed``; the byte-per-bit
+  reference path (``packed=False``) produces bit-identical results for
+  the same seed and is kept as the verification baseline.
 * **Sharded parallel sampling** -- shots are split into fixed-size shards,
   each with an independent child of one root
   :class:`numpy.random.SeedSequence`.  The shard structure depends only on
   the seed and shard size, never on the worker count, so results are
-  bit-identical for 1 or N ``multiprocessing`` workers.
+  bit-identical for 1 or N ``multiprocessing`` workers.  One persistent
+  pool serves all ``run``/``run_until`` calls of an engine (see
+  :meth:`DecodingEngine.close`).
 * **Streaming early-stop** -- :meth:`DecodingEngine.run_until` keeps
   drawing shard batches until a target failure count or a shot cap is
   reached, so sweeps spend shots where failures are rare instead of using
@@ -131,10 +138,19 @@ class EngineResult:
 _WORKER: dict = {}
 
 
-def _worker_init(circuit: Circuit, decoder: Decoder, observable: Optional[int]) -> None:
-    _WORKER["sim"] = FrameSimulator(circuit)
+def _worker_init(
+    circuit: Circuit,
+    decoder: Optional[Decoder],
+    observable: Optional[int],
+    packed: bool,
+    sim: Optional[FrameSimulator] = None,
+) -> None:
+    _WORKER["sim"] = sim if sim is not None else FrameSimulator(circuit)
     _WORKER["decoder"] = decoder
     _WORKER["observable"] = observable
+    _WORKER["packed"] = packed
+    _WORKER["num_detectors"] = circuit.num_detectors
+    _WORKER["num_observables"] = circuit.num_observables
 
 
 def _run_shard(task: Tuple[int, np.random.SeedSequence]) -> Tuple[int, int]:
@@ -143,13 +159,39 @@ def _run_shard(task: Tuple[int, np.random.SeedSequence]) -> Tuple[int, int]:
     sim: FrameSimulator = _WORKER["sim"]
     decoder: Decoder = _WORKER["decoder"]
     observable: Optional[int] = _WORKER["observable"]
-    detectors, observables = sim.sample(shots, rng=np.random.default_rng(seed_seq))
-    predictions = decoder.decode_batch(detectors)
+    rng = np.random.default_rng(seed_seq)
+    if _WORKER["packed"]:
+        # Packed end to end: sampling emits bit-packed per-shot keys that
+        # the decoder dedups directly; only the tiny observable table is
+        # unpacked for the failure comparison.
+        det_keys, obs_keys = sim.sample_packed(shots, rng=rng)
+        predictions = decoder.decode_packed(det_keys, _WORKER["num_detectors"])
+        num_obs = _WORKER["num_observables"]
+        if num_obs:
+            observables = np.unpackbits(obs_keys, axis=1, count=num_obs)
+        else:
+            observables = np.zeros((shots, 0), dtype=np.uint8)
+    else:
+        detectors, observables = sim.sample(shots, rng=rng)
+        predictions = decoder.decode_batch(detectors)
     if observable is None:
         wrong = (predictions ^ observables).any(axis=1)
     else:
         wrong = predictions[:, observable] ^ observables[:, observable]
     return shots, int(np.sum(wrong))
+
+
+def _collect_shard(
+    task: Tuple[int, np.random.SeedSequence]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample one shard; returns bit-packed (detector, observable) keys.
+
+    Workers ship the packed arrays back to the parent, ~8x less pickle
+    bandwidth than byte-per-bit tables.
+    """
+    shots, seed_seq = task
+    sim: FrameSimulator = _WORKER["sim"]
+    return sim.sample_packed(shots, rng=np.random.default_rng(seed_seq))
 
 
 class DecodingEngine:
@@ -169,6 +211,17 @@ class DecodingEngine:
             the seed and this value only, so results do not depend on
             ``workers``.
         workers: number of ``multiprocessing`` workers; ``1`` runs inline.
+        packed: when True (default), shards run the bit-packed compiled
+            pipeline (:meth:`~repro.sim.frame.FrameSimulator.sample_packed`
+            feeding :meth:`~repro.decoder.base.BatchDecoder.decode_packed`);
+            ``False`` runs the byte-per-bit reference path.  Both produce
+            bit-identical results for the same seed.
+
+    The engine keeps one persistent worker pool alive across ``run`` /
+    ``run_until`` calls (spawning a pool ships the circuit and decoder to
+    every worker; respawning per batch wasted that setup).  Call
+    :meth:`close` -- or use the engine as a context manager -- to release
+    the pool; it is also released on garbage collection.
     """
 
     def __init__(
@@ -181,6 +234,7 @@ class DecodingEngine:
         observable: Optional[int] = 0,
         shard_shots: int = 1024,
         workers: int = 1,
+        packed: bool = True,
     ) -> None:
         if shard_shots < 1:
             raise ValueError("shard_shots must be >= 1")
@@ -190,18 +244,40 @@ class DecodingEngine:
         self.observable = observable
         self.shard_shots = shard_shots
         self.workers = workers
+        self.packed = packed
+        self._pool = None
+        # One simulator for serial execution and DEM extraction: its
+        # compiled program is built once and reused across run() calls.
+        self._sim = FrameSimulator(circuit)
         if isinstance(decoder, str):
             # DEM extraction is the dominant setup cost; skip it entirely
             # when the caller hands over an already-built decoder.
-            self.dem: Optional[DetectorErrorModel] = FrameSimulator(
-                circuit
-            ).detector_error_model()
+            self.dem: Optional[DetectorErrorModel] = self._sim.detector_error_model()
             self.decoder = make_decoder(
                 decoder, self.dem, detector_meta=detector_meta, basis=basis
             )
         else:
             self.dem = None
             self.decoder = decoder
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "DecodingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- public API ---------------------------------------------------------
 
@@ -241,26 +317,54 @@ class DecodingEngine:
         shots_done = 0
         failures = 0
         shards = 0
-        pool = self._make_pool() if self.workers > 1 else None
-        try:
-            while shots_done < max_shots and failures < target_failures:
-                sizes = self._next_wave_sizes(max_shots - shots_done)
-                tasks = list(zip(sizes, root.spawn(len(sizes))))
-                results = self._execute(tasks, pool=pool)
-                for shard_shots, shard_failures in results:
-                    shots_done += shard_shots
-                    failures += shard_failures
-                    shards += 1
-                    if failures >= target_failures or shots_done >= max_shots:
-                        break
-                else:
-                    continue
-                break
-        finally:
-            if pool is not None:
-                pool.terminate()
-                pool.join()
+        while shots_done < max_shots and failures < target_failures:
+            sizes = self._next_wave_sizes(max_shots - shots_done)
+            tasks = list(zip(sizes, root.spawn(len(sizes))))
+            results = self._execute(tasks)
+            for shard_shots, shard_failures in results:
+                shots_done += shard_shots
+                failures += shard_failures
+                shards += 1
+                if failures >= target_failures or shots_done >= max_shots:
+                    break
+            else:
+                continue
+            break
         return EngineResult(shots=shots_done, failures=failures, shards=shards)
+
+    def collect(
+        self, shots: int, seed: SeedLike = 0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample detector/observable tables without decoding them.
+
+        Shards are drawn exactly as in :meth:`run` (same seed spawning,
+        same layout), sampled with the packed pipeline, and concatenated
+        in shard order -- workers return bit-packed arrays, ~8x less
+        pickle bandwidth than byte-per-bit tables.
+
+        Returns:
+            (detectors, observables): uint8 arrays of shapes
+            (shots, ceil(num_detectors/8)) and
+            (shots, ceil(num_observables/8)), one bit-packed row per shot
+            (the dedup-key layout ``decode_packed`` consumes).
+        """
+        if shots < 0:
+            raise ValueError("shots must be >= 0")
+        det_width = (self.circuit.num_detectors + 7) // 8
+        obs_width = (self.circuit.num_observables + 7) // 8
+        if shots == 0:
+            return (
+                np.zeros((0, det_width), dtype=np.uint8),
+                np.zeros((0, obs_width), dtype=np.uint8),
+            )
+        root = _as_seed_sequence(seed)
+        sizes = self._shard_sizes(shots)
+        tasks = list(zip(sizes, root.spawn(len(sizes))))
+        parts = self._execute(tasks, fn=_collect_shard)
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+        )
 
     # -- internals ----------------------------------------------------------
 
@@ -278,21 +382,23 @@ class DecodingEngine:
             remaining -= size
         return sizes
 
-    def _make_pool(self):
-        return multiprocessing.Pool(
-            self.workers,
-            initializer=_worker_init,
-            initargs=(self.circuit, self.decoder, self.observable),
-        )
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                self.workers,
+                initializer=_worker_init,
+                initargs=(self.circuit, self.decoder, self.observable, self.packed),
+            )
+        return self._pool
 
-    def _execute(self, tasks, pool=None) -> List[Tuple[int, int]]:
-        if self.workers <= 1 and pool is None:
-            _worker_init(self.circuit, self.decoder, self.observable)
-            return [_run_shard(task) for task in tasks]
-        if pool is not None:
-            return pool.map(_run_shard, tasks)
-        with self._make_pool() as fresh:
-            return fresh.map(_run_shard, tasks)
+    def _execute(self, tasks, fn=_run_shard) -> List:
+        if self.workers <= 1:
+            _worker_init(
+                self.circuit, self.decoder, self.observable, self.packed,
+                sim=self._sim,
+            )
+            return [fn(task) for task in tasks]
+        return self._ensure_pool().map(fn, tasks)
 
 
 def _as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:

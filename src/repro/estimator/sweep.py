@@ -14,6 +14,16 @@ serial loop, this module provides:
   are concatenated in shard order, so the output is identical for 1 or N
   workers -- the point functions are deterministic, and each worker
   process simply warms its own sub-model cache.
+* **Measured serial fallback** -- spawning a pool costs real wall time
+  (process forks, initializer shipping); on grids whose total work is
+  smaller than that overhead, ``jobs > 1`` used to *lose* to serial on
+  every small scenario.  ``sweep`` now probes the first two points
+  inline, extrapolates the remaining serial cost from the cheaper probe
+  (the first point also pays cold sub-model caches), and only spawns the
+  pool when the measured per-process overhead
+  (:func:`measured_pool_overhead`, calibrated once per process per
+  worker count) is projected to pay for itself.  The fallback never
+  changes results -- only where they are computed.
 * **Pruning hooks** -- :func:`minimize` runs branch-and-bound over the
   grid: a cheap, *sound* ``lower_bound(point)`` (never exceeding the true
   objective) lets dominated grid points be skipped without changing the
@@ -32,6 +42,7 @@ from __future__ import annotations
 import itertools
 import math
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -133,18 +144,60 @@ def _shards(points: List[Dict[str, Any]], shard_size: int) -> List[List[Dict[str
     ]
 
 
+# Measured pool-spawn overhead per worker count, calibrated at most once
+# per process (the calibration itself costs one pool spawn, amortized over
+# every later sweep in the process).  Tests may pre-seed this to force a
+# fallback decision either way.
+_CALIBRATION: Dict[int, float] = {}
+
+# Points probed inline before deciding serial vs pool.  Two probes let the
+# extrapolation use the cheaper one: the first probe also pays the cold
+# sub-model caches, which a parallel run would pay per worker anyway.
+_PROBE_POINTS = 2
+
+
+def _calibration_point(point: Dict[str, Any]) -> Dict[str, Any]:
+    return {}
+
+
+def measured_pool_overhead(jobs: int) -> float:
+    """Wall-clock seconds to spawn a ``jobs``-worker pool and drain one
+    no-op shard per worker, measured once per process per worker count.
+
+    This is the break-even threshold the serial fallback compares the
+    projected sweep cost against -- a measurement on this machine, not a
+    magic constant.
+    """
+    if jobs not in _CALIBRATION:
+        start = time.perf_counter()
+        with multiprocessing.Pool(
+            jobs, initializer=_worker_init, initargs=(_calibration_point,)
+        ) as pool:
+            pool.map(_run_shard, [[{}] for _ in range(jobs)])
+        _CALIBRATION[jobs] = time.perf_counter() - start
+    return _CALIBRATION[jobs]
+
+
 def sweep(
     fn: PointFn,
     spec: GridSpec,
     *,
     jobs: int = 1,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    auto_serial: bool = True,
 ) -> List[Record]:
     """Evaluate ``fn`` at every grid point; returns one record per point.
 
     Records preserve grid order regardless of ``jobs``: the shard layout is
     a function of ``shard_size`` only and shard outputs are concatenated in
     shard order, so serial and sharded runs are identical.
+
+    With ``jobs > 1`` and ``auto_serial`` (the default), the first
+    :data:`_PROBE_POINTS` points are evaluated inline and the rest of the
+    grid only goes to a worker pool when its projected serial cost exceeds
+    the measured pool-spawn overhead (:func:`measured_pool_overhead`);
+    below that threshold the pool can only lose wall time.  The records
+    are identical either way.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -156,6 +209,26 @@ def sweep(
     if jobs == 1:
         _worker_init(fn)
         return _run_shard(points)
+    if not auto_serial:
+        return _pooled(fn, points, jobs, shard_size)
+    _worker_init(fn)
+    records: List[Record] = []
+    per_point = math.inf
+    for point in points[:_PROBE_POINTS]:
+        start = time.perf_counter()
+        records.extend(_run_shard([point]))
+        per_point = min(per_point, time.perf_counter() - start)
+    rest = points[_PROBE_POINTS:]
+    if not rest:
+        return records
+    if per_point * len(rest) <= measured_pool_overhead(jobs):
+        return records + _run_shard(rest)
+    return records + _pooled(fn, rest, jobs, shard_size)
+
+
+def _pooled(
+    fn: PointFn, points: List[Dict[str, Any]], jobs: int, shard_size: int
+) -> List[Record]:
     shards = _shards(points, shard_size)
     with multiprocessing.Pool(
         min(jobs, len(shards)), initializer=_worker_init, initargs=(fn,)

@@ -108,10 +108,16 @@ def decoder_tradeoff_monte_carlo(
 ) -> Dict[str, LogicalErrorResult]:
     """Measured logical error per decoder on one memory experiment.
 
-    Every decoder is run from the same root seed, so all of them decode
-    identical noise realizations (a paired comparison); the rate ratio
-    between a fast decoder and MWPM is the Monte-Carlo counterpart of the
-    alpha penalty swept analytically in :func:`volume_vs_alpha`.
+    Every decoder decodes *the same* noise realizations (a paired
+    comparison), so the rate ratio between a fast decoder and MWPM is the
+    Monte-Carlo counterpart of the alpha penalty swept analytically in
+    :func:`volume_vs_alpha`.  Serially (``workers=1``, no
+    ``target_failures``) the syndromes are sampled exactly once through
+    the packed pipeline (:meth:`DecodingEngine.collect`) and every
+    decoder consumes the identical bit-packed tables; with ``workers>1``
+    each decoder streams through its own sharded engine run instead --
+    resampling identical shard streams from the common seed -- so the
+    decode work (the dominant cost) parallelizes too.
 
     Note: setting ``target_failures`` makes each decoder stop at its own
     shot count, so failure *counts* are no longer paired -- compare
@@ -119,21 +125,35 @@ def decoder_tradeoff_monte_carlo(
     """
     circuit = memory_circuit(distance, rounds, p)
     # Extract the DEM once (the dominant setup cost) and share it across
-    # all decoders; each engine re-derives identical shard streams from
-    # the common seed, which is what makes the comparison paired.
+    # all decoders.
     dem = FrameSimulator(circuit).detector_error_model()
     out: Dict[str, LogicalErrorResult] = {}
+    if target_failures is not None or workers > 1:
+        for name in decoders:
+            with DecodingEngine(
+                circuit, make_decoder(name, dem), workers=workers
+            ) as engine:
+                if target_failures is not None:
+                    res = engine.run_until(
+                        target_failures,
+                        max_shots=shots,
+                        seed=np.random.SeedSequence(seed),
+                    )
+                else:
+                    res = engine.run(shots, seed=np.random.SeedSequence(seed))
+            out[name] = LogicalErrorResult(shots=res.shots, failures=res.failures)
+        return out
+    built = {name: make_decoder(name, dem) for name in decoders}
+    sampler = built[decoders[0]] if decoders else None
+    with DecodingEngine(circuit, sampler, workers=workers) as engine:
+        det_keys, obs_keys = engine.collect(shots, seed=np.random.SeedSequence(seed))
+    num_obs = circuit.num_observables
+    observables = np.unpackbits(obs_keys, axis=1, count=num_obs)
     for name in decoders:
-        engine = DecodingEngine(
-            circuit, make_decoder(name, dem), workers=workers
-        )
-        if target_failures is not None:
-            res = engine.run_until(
-                target_failures, max_shots=shots, seed=np.random.SeedSequence(seed)
-            )
-        else:
-            res = engine.run(shots, seed=np.random.SeedSequence(seed))
-        out[name] = LogicalErrorResult(shots=res.shots, failures=res.failures)
+        decoder = built[name]
+        predictions = decoder.decode_packed(det_keys, circuit.num_detectors)
+        failures = int((predictions[:, 0] ^ observables[:, 0]).sum())
+        out[name] = LogicalErrorResult(shots=shots, failures=failures)
     return out
 
 

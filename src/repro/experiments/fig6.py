@@ -55,6 +55,7 @@ def generate_fig6a(
     seed: int = 29,
     workers: int = 1,
     target_failures: Optional[int] = None,
+    packed: bool = True,
 ) -> Fig6aResult:
     """Run the MC experiments and fit Eq. (4).
 
@@ -64,6 +65,9 @@ def generate_fig6a(
         workers: parallel decoding-engine workers per point.
         target_failures: when set, each point streams shot batches until
             this many failures are observed (or ``shots`` is reached).
+        packed: run each point's engine on the bit-packed compiled
+            pipeline (default) or the byte-per-bit reference path; the
+            sampled noise and the fits are bit-identical either way.
     """
     root = np.random.SeedSequence(seed)
     memory_seeds = root.spawn(len(distances))
@@ -72,7 +76,7 @@ def generate_fig6a(
         rounds = d + 1
         res = memory_logical_error(
             d, rounds, p, shots, seed=point_seed,
-            workers=workers, target_failures=target_failures,
+            workers=workers, target_failures=target_failures, packed=packed,
         )
         rates.append(per_round_rate(res, rounds))
     memory_fit = fit_memory_model(list(distances), rates)
@@ -83,6 +87,7 @@ def generate_fig6a(
             res, n = cnot_experiment_rate(
                 d, 6, p, every, shots, seed=next(cnot_seeds),
                 workers=workers, target_failures=target_failures,
+                packed=packed,
             )
             if res.failures == 0:
                 continue

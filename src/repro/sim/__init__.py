@@ -1,6 +1,7 @@
 """Circuit IR, simulators, noise sampling and experiment builders."""
 
 from repro.sim.circuit import Circuit, Operation
+from repro.sim.compiled import CompiledProgram, transpose_packed
 from repro.sim.frame import DetectorErrorModel, ErrorMechanism, FrameSimulator
 from repro.sim.memory import (
     MemoryExperimentBuilder,
@@ -13,6 +14,7 @@ from repro.sim.tableau import TableauSimulator
 
 __all__ = [
     "Circuit",
+    "CompiledProgram",
     "DetectorErrorModel",
     "ErrorMechanism",
     "FrameSimulator",
@@ -22,6 +24,7 @@ __all__ = [
     "TableauSimulator",
     "ccz_state",
     "memory_circuit",
+    "transpose_packed",
     "transversal_cnot_circuit",
     "transversal_cnot_experiment",
 ]

@@ -82,8 +82,24 @@ class Circuit:
     # -- builder ----------------------------------------------------------
 
     def append(self, name: str, targets: Iterable[int] = (), arg: float = 0.0) -> "Circuit":
-        """Append one operation; returns self for chaining."""
+        """Append one operation; returns self for chaining.
+
+        DETECTOR / OBSERVABLE_INCLUDE targets must address measurement
+        records that already exist (``0 <= record < num_measurements`` at
+        append time).  Forward or negative record references would make
+        the eager reference sampler and the compiled bit-packed pipeline
+        (which extracts detectors in one deferred XOR-reduce) disagree, so
+        they are rejected at construction instead.
+        """
         op = Operation(name, tuple(int(t) for t in targets), arg)
+        if name in ("DETECTOR", "OBSERVABLE_INCLUDE"):
+            for rec in op.targets:
+                if not 0 <= rec < self._num_measurements:
+                    raise ValueError(
+                        f"{name} references measurement record {rec}, but "
+                        f"only records [0, {self._num_measurements}) exist "
+                        f"at this point in the circuit"
+                    )
         self.operations.append(op)
         if name in MEASUREMENTS:
             self._num_measurements += len(op.targets)

@@ -23,13 +23,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.sim.circuit import Circuit
-
-_PAULI_1Q = ((1, 0), (1, 1), (0, 1))  # X, Y, Z as (x, z) flips
-_PAULI_2Q = tuple(
-    (a, b)
-    for a in ((0, 0), (1, 0), (1, 1), (0, 1))
-    for b in ((0, 0), (1, 0), (1, 1), (0, 1))
-    if (a, b) != ((0, 0), (0, 0))
+from repro.sim.compiled import (
+    PAULI_1Q as _PAULI_1Q,
+    PAULI_2Q as _PAULI_2Q,
+    CompiledProgram,
+    depolarize2_codes,
+    transpose_packed,
 )
 
 
@@ -82,6 +81,14 @@ class FrameSimulator:
         self.circuit = circuit
         self.num_qubits = circuit.num_qubits
         self._rng = rng if rng is not None else np.random.default_rng()
+        self._compiled: Optional[CompiledProgram] = None
+
+    @property
+    def compiled(self) -> CompiledProgram:
+        """The circuit's compiled bit-packed program (built lazily, once)."""
+        if self._compiled is None:
+            self._compiled = CompiledProgram(self.circuit)
+        return self._compiled
 
     # -- sampling --------------------------------------------------------------
 
@@ -113,6 +120,31 @@ class FrameSimulator:
                 noisy=True, rng=rng if rng is not None else self._rng,
             )
         return detectors, observables[:, : self.circuit.num_observables]
+
+    def sample_packed(
+        self, shots: int, rng: Optional[np.random.Generator] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample detector/observable tables as bit-packed per-shot keys.
+
+        Runs the compiled bit-packed pipeline (:mod:`repro.sim.compiled`):
+        gates operate on packed word rows (8-64 shots per ALU op) and
+        detector extraction is one sparse XOR-reduce.  The noise stream is
+        drawn in the reference sampler's exact order, so for the same seed
+        the unpacked bits equal :meth:`sample`'s output *bit for bit*.
+
+        Returns:
+            (detectors, observables): uint8 arrays of shape
+            ``(shots, ceil(num_detectors/8))`` and
+            ``(shots, ceil(num_observables/8))``; each row is the shot's
+            detector/observable bits packed with ``np.packbits`` big-endian
+            bit order -- exactly the dedup key format
+            :meth:`repro.decoder.base.BatchDecoder.decode_packed` consumes.
+        """
+        program = self.compiled
+        det, obs = program.run_packed(
+            shots, rng if rng is not None else self._rng
+        )
+        return transpose_packed(det, shots), transpose_packed(obs, shots)
 
     # -- detector error model ----------------------------------------------------
 
@@ -235,50 +267,48 @@ class FrameSimulator:
                 observables[:, index] ^= flips[:, rec]
         elif name == "X_ERROR":
             if noisy:
-                hit = rng.random((flips.shape[0], len(op.targets))) < op.arg
+                hit = rng.random((len(op.targets), flips.shape[0])) < op.arg
                 for i, q in enumerate(op.targets):
-                    frame_x[:, q] ^= hit[:, i].astype(np.uint8)
+                    frame_x[:, q] ^= hit[i].astype(np.uint8)
         elif name == "Z_ERROR":
             if noisy:
-                hit = rng.random((flips.shape[0], len(op.targets))) < op.arg
+                hit = rng.random((len(op.targets), flips.shape[0])) < op.arg
                 for i, q in enumerate(op.targets):
-                    frame_z[:, q] ^= hit[:, i].astype(np.uint8)
+                    frame_z[:, q] ^= hit[i].astype(np.uint8)
         elif name == "Y_ERROR":
             if noisy:
-                hit = rng.random((flips.shape[0], len(op.targets))) < op.arg
+                hit = rng.random((len(op.targets), flips.shape[0])) < op.arg
                 for i, q in enumerate(op.targets):
-                    frame_x[:, q] ^= hit[:, i].astype(np.uint8)
-                    frame_z[:, q] ^= hit[:, i].astype(np.uint8)
+                    frame_x[:, q] ^= hit[i].astype(np.uint8)
+                    frame_z[:, q] ^= hit[i].astype(np.uint8)
         elif name == "DEPOLARIZE1":
             if noisy:
-                shots = flips.shape[0]
-                for q in op.targets:
-                    draw = rng.random(shots)
+                # One (targets, shots) draw per op; row i drives qubit i.
+                draw = rng.random((len(op.targets), flips.shape[0]))
+                for i, q in enumerate(op.targets):
+                    row = draw[i]
                     # Split [0, p) into thirds for X, Y, Z.
-                    x_hit = draw < 2 * op.arg / 3
-                    z_hit = (draw >= op.arg / 3) & (draw < op.arg)
+                    x_hit = row < 2 * op.arg / 3
+                    z_hit = (row >= op.arg / 3) & (row < op.arg)
                     frame_x[:, q] ^= x_hit.astype(np.uint8)
                     frame_z[:, q] ^= z_hit.astype(np.uint8)
         elif name == "DEPOLARIZE2":
-            if noisy:
-                shots = flips.shape[0]
-                for a, b in zip(op.targets[0::2], op.targets[1::2]):
-                    draw = rng.random(shots)
-                    hit = draw < op.arg
-                    which = rng.integers(0, 15, size=shots)
-                    for k, ((xa, za), (xb, zb)) in enumerate(_PAULI_2Q):
-                        rows = hit & (which == k)
-                        if not rows.any():
-                            continue
-                        sel = rows.astype(np.uint8)
-                        if xa:
-                            frame_x[:, a] ^= sel
-                        if za:
-                            frame_z[:, a] ^= sel
-                        if xb:
-                            frame_x[:, b] ^= sel
-                        if zb:
-                            frame_z[:, b] ^= sel
+            if noisy and op.arg > 0:
+                pairs = list(zip(op.targets[0::2], op.targets[1::2]))
+                # One (pairs, shots) draw per op; the same uniform drives
+                # both the hit decision and the Pauli-pair outcome, and
+                # the outcome code's bits are the four flip planes.  The
+                # compiled pipeline calls the same helper on the same
+                # draw, keeping the two samplers bit-exact.
+                code = depolarize2_codes(
+                    rng.random((len(pairs), flips.shape[0])), op.arg
+                )
+                for i, (a, b) in enumerate(pairs):
+                    row = code[i]
+                    frame_x[:, a] ^= (row >> 3) & 1
+                    frame_z[:, a] ^= (row >> 2) & 1
+                    frame_x[:, b] ^= (row >> 1) & 1
+                    frame_z[:, b] ^= row & 1
         else:
             raise ValueError(f"frame simulator cannot run {name}")
 

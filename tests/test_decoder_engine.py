@@ -296,6 +296,156 @@ class TestEngineAnalysisIntegration:
         assert res.shots == 256
 
 
+class TestPackedPipeline:
+    """Packed and unpacked engine paths must agree bit for bit."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_packed_matches_unpacked_engine(self, memory_setup, workers):
+        circuit, _, _, _ = memory_setup
+        results = []
+        for packed in (True, False):
+            with DecodingEngine(
+                circuit, "mwpm", shard_shots=128, workers=workers, packed=packed
+            ) as engine:
+                res = engine.run(700, seed=3)
+            results.append((res.shots, res.failures, res.shards))
+        assert results[0] == results[1]
+
+    def test_packed_matches_unpacked_any_observable(self):
+        builder = transversal_cnot_experiment(3, 4, 0.004, [1, 2])
+        results = []
+        for packed in (True, False):
+            engine = DecodingEngine(
+                builder.circuit,
+                "sequential",
+                detector_meta=builder.detector_meta,
+                observable=None,
+                shard_shots=128,
+                packed=packed,
+            )
+            res = engine.run(256, seed=3)
+            results.append((res.shots, res.failures))
+        assert results[0] == results[1]
+
+    def test_decode_packed_matches_decode_batch(self, memory_setup):
+        _, dem, detectors, _ = memory_setup
+        decoder = make_decoder("mwpm", dem)
+        packed = np.packbits(detectors, axis=1)
+        np.testing.assert_array_equal(
+            decoder.decode_packed(packed, dem.num_detectors),
+            decoder.decode_batch(detectors),
+        )
+        np.testing.assert_array_equal(
+            decoder.decode_packed(packed, dem.num_detectors, dedup=False),
+            decoder.decode_batch(detectors, dedup=False),
+        )
+
+    def test_collect_matches_reference_sampling(self, memory_setup):
+        circuit, _, _, _ = memory_setup
+        engine = DecodingEngine(circuit, "mwpm", shard_shots=128)
+        det_keys, obs_keys = engine.collect(300, seed=9)
+        assert det_keys.shape == (300, (circuit.num_detectors + 7) // 8)
+        root = np.random.SeedSequence(9)
+        sim = FrameSimulator(circuit)
+        parts = [
+            sim.sample(size, rng=np.random.default_rng(child))[0]
+            for size, child in zip([128, 128, 44], root.spawn(3))
+        ]
+        np.testing.assert_array_equal(
+            np.unpackbits(det_keys, axis=1, count=circuit.num_detectors),
+            np.concatenate(parts),
+        )
+
+    def test_collect_worker_invariance(self, memory_setup):
+        circuit, _, _, _ = memory_setup
+        tables = []
+        for workers in (1, 2):
+            with DecodingEngine(
+                circuit, "mwpm", shard_shots=64, workers=workers
+            ) as engine:
+                tables.append(engine.collect(300, seed=21))
+        np.testing.assert_array_equal(tables[0][0], tables[1][0])
+        np.testing.assert_array_equal(tables[0][1], tables[1][1])
+
+
+class TestMWPMDecomposition:
+    """Cluster decomposition must stay exact and batch-invariant."""
+
+    def test_decomposed_agrees_with_whole_syndrome_failures(self, memory_setup):
+        _, dem, detectors, observables = memory_setup
+        graph = DecodingGraph.from_dem(dem)
+        whole = MWPMDecoder(graph, decompose=False).decode_batch(detectors)
+        split = MWPMDecoder(graph).decode_batch(detectors)
+        whole_failures = int((whole[:, 0] ^ observables[:, 0]).sum())
+        split_failures = int((split[:, 0] ^ observables[:, 0]).sum())
+        # Exact MWPM either way; degenerate ties may flip single shots.
+        assert abs(whole_failures - split_failures) <= 2
+
+    def test_batch_decode_matches_scalar_decode(self, memory_setup):
+        _, dem, detectors, _ = memory_setup
+        decoder = make_decoder("mwpm", dem)
+        batch = decoder.decode_batch(detectors)
+        scalar = np.stack([decoder.decode(row) for row in detectors[:100]])
+        np.testing.assert_array_equal(scalar, batch[:100])
+
+    def test_cluster_cache_reused(self, memory_setup):
+        _, dem, detectors, _ = memory_setup
+        decoder = make_decoder("mwpm", dem)
+        first = decoder.decode_batch(detectors)
+        assert len(decoder._cluster_cache) > 0
+        again = decoder.decode_batch(detectors)
+        np.testing.assert_array_equal(first, again)
+
+    def test_cache_runaway_clear_mid_batch_recovers(self, memory_setup, monkeypatch):
+        # A tiny cache limit forces wholesale clears *during* a batch;
+        # composition must re-solve dropped clusters, not crash, and the
+        # predictions must be unchanged.
+        import repro.decoder.mwpm as mwpm_module
+
+        _, dem, detectors, _ = memory_setup
+        reference = MWPMDecoder(DecodingGraph.from_dem(dem)).decode_batch(detectors)
+        monkeypatch.setattr(mwpm_module, "_CLUSTER_CACHE_LIMIT", 2)
+        small_cache = MWPMDecoder(DecodingGraph.from_dem(dem))
+        np.testing.assert_array_equal(
+            small_cache.decode_batch(detectors), reference
+        )
+        assert len(small_cache._cluster_cache) <= 3
+
+    def test_decompose_raises_on_unexplainable_syndrome(self):
+        graph = DecodingGraph(num_detectors=3, num_observables=1)
+        graph.add_mechanism((0, 1), 0.01, frozenset())
+        graph.add_mechanism((1, 2), 0.01, frozenset({0}))
+        decoder = MWPMDecoder(graph)  # decompose on (default)
+        with pytest.raises(ValueError, match="not perfect"):
+            decoder.decode(np.array([1, 1, 1], dtype=np.uint8))
+
+
+class TestPersistentPool:
+    def test_pool_survives_across_runs(self, memory_setup):
+        circuit, _, _, _ = memory_setup
+        with DecodingEngine(
+            circuit, "mwpm", shard_shots=128, workers=2
+        ) as engine:
+            engine.run(256, seed=1)
+            pool = engine._pool
+            assert pool is not None
+            engine.run(256, seed=2)
+            assert engine._pool is pool  # reused, not respawned
+            engine.run_until(1, max_shots=512, seed=3)
+            assert engine._pool is pool
+        assert engine._pool is None  # context exit released it
+
+    def test_close_idempotent_and_restartable(self, memory_setup):
+        circuit, _, _, _ = memory_setup
+        engine = DecodingEngine(circuit, "mwpm", shard_shots=128, workers=2)
+        first = engine.run(256, seed=7)
+        engine.close()
+        engine.close()
+        again = engine.run(256, seed=7)  # pool respawns transparently
+        assert (first.shots, first.failures) == (again.shots, again.failures)
+        engine.close()
+
+
 @pytest.mark.slow
 class TestEngineSlow:
     """Larger-scale consistency runs, excluded from the tier-1 default."""

@@ -6,10 +6,17 @@ from functools import partial
 import pytest
 
 from repro.core.cache import cache_stats, caching_disabled, clear_caches, memoized
+import importlib
+
+# `repro.estimator.sweep` the *attribute* is shadowed by the function of
+# the same name re-exported from the package __init__.
+sweep_module = importlib.import_module("repro.estimator.sweep")
+
 from repro.estimator.sweep import (
     Axis,
     GridSpec,
     grid,
+    measured_pool_overhead,
     minimize,
     sweep,
     zipped,
@@ -80,6 +87,69 @@ class TestSweep:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError):
             sweep(_square_point, grid(x=(1,)), jobs=0)
+
+
+class TestAutoSerialFallback:
+    """Small grids must not pay pool-spawn overhead they cannot recoup."""
+
+    def test_small_grid_stays_serial(self, monkeypatch):
+        # Huge measured overhead -> the projection always picks serial; a
+        # pool spawn would blow up via the poisoned Pool.
+        monkeypatch.setitem(sweep_module._CALIBRATION, 2, 3600.0)
+        monkeypatch.setattr(
+            sweep_module.multiprocessing, "Pool", _forbidden_pool
+        )
+        records = sweep(_square_point, grid(x=(1, 2, 3, 4)), jobs=2)
+        assert records == [
+            {"x": 1, "square": 1},
+            {"x": 2, "square": 4},
+            {"x": 3, "square": 9},
+            {"x": 4, "square": 16},
+        ]
+
+    def test_expensive_grid_goes_parallel(self, monkeypatch):
+        # Zero measured overhead -> any nonzero projected work parallelizes.
+        monkeypatch.setitem(sweep_module._CALIBRATION, 2, 0.0)
+        serial = sweep(_pair_point, grid(x=tuple(range(6)), y=(1, 2)), jobs=1)
+        sharded = sweep(
+            _pair_point, grid(x=tuple(range(6)), y=(1, 2)), jobs=2, shard_size=3
+        )
+        assert sharded == serial
+
+    def test_auto_serial_off_preserves_old_behavior(self, monkeypatch):
+        monkeypatch.setitem(sweep_module._CALIBRATION, 2, 3600.0)
+        records = sweep(
+            _square_point, grid(x=(1, 2, 3)), jobs=2, auto_serial=False
+        )
+        assert [r["square"] for r in records] == [1, 4, 9]
+
+    def test_probe_only_grid(self, monkeypatch):
+        # Grids no larger than the probe count never consult the pool.
+        monkeypatch.setattr(
+            sweep_module.multiprocessing, "Pool", _forbidden_pool
+        )
+        assert sweep(_square_point, grid(x=(1, 2)), jobs=4) == [
+            {"x": 1, "square": 1},
+            {"x": 2, "square": 4},
+        ]
+
+    def test_measured_overhead_memoized(self, monkeypatch):
+        monkeypatch.setitem(sweep_module._CALIBRATION, 7, 1.25)
+        monkeypatch.setattr(
+            sweep_module.multiprocessing, "Pool", _forbidden_pool
+        )
+        assert measured_pool_overhead(7) == 1.25
+
+    def test_calibration_measures_real_overhead(self):
+        sweep_module._CALIBRATION.pop(2, None)
+        overhead = measured_pool_overhead(2)
+        assert overhead > 0.0
+        # Memoized: a second call returns the same measurement.
+        assert measured_pool_overhead(2) == overhead
+
+
+def _forbidden_pool(*args, **kwargs):
+    raise AssertionError("a worker pool must not be spawned here")
 
 
 class TestMinimize:
