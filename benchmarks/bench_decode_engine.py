@@ -42,9 +42,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.decoder.engine import DecodingEngine
+from repro.decoder.analysis import paired_failure_counts
+from repro.decoder.engine import DecodingEngine, make_decoder
 from repro.decoder.graph import DecodingGraph
 from repro.decoder.mwpm import MWPMDecoder
+from repro.noise.models import BiasedPauli
 from repro.sim.frame import FrameSimulator
 from repro.sim.memory import memory_circuit
 
@@ -214,6 +216,69 @@ def packed_vs_unpacked(distance=7, p=1e-3, shots=6000, warm_shots=2048, seed=29)
     return row
 
 
+# -- biased-noise point ---------------------------------------------------------
+
+
+def biased_noise_point(
+    distance=7, p=3e-3, bias=8.0, shots=4000, warm_shots=1024, seed=31
+):
+    """d=7 biased-Pauli point: packed throughput + weighted-vs-uniform.
+
+    Exercises the PAULI_CHANNEL_1/2 sampling path at scale through the
+    packed engine, and pairs the DEM-LLR-weighted MWPM against the
+    uniform-weight baseline graph on the *same* sampled syndromes -- the
+    noise layer's acceptance comparison, tracked per PR next to the
+    packed-pipeline numbers.
+    """
+    # X-basis memory: the Z-heavy channel lands in the detecting sector,
+    # so failures are plentiful and the weighting comparison has teeth.
+    circuit = memory_circuit(
+        distance, distance + 1, p, basis="X", noise=BiasedPauli(p, bias=bias)
+    )
+    dem = FrameSimulator(circuit).detector_error_model()
+    weighted = make_decoder("mwpm", dem)
+
+    engine = DecodingEngine(circuit, weighted, shard_shots=4096)
+    _, rate_packed = _timed_engine_run(engine, shots, warm_shots, seed)
+    engine.close()
+
+    failures = paired_failure_counts(
+        circuit,
+        {"weighted": weighted, "uniform": "mwpm_uniform"},
+        shots,
+        seed=np.random.SeedSequence(seed),
+        dem=dem,
+        shard_shots=4096,
+    )
+
+    row = {
+        "distance": distance,
+        "p": p,
+        "bias": bias,
+        "basis": "X",
+        "shots": shots,
+        "packed_engine_shots_per_s": rate_packed,
+        "failures_weighted": failures["weighted"],
+        "failures_uniform": failures["uniform"],
+    }
+    print(
+        f"  d={distance} p={p:g} bias={bias:g} shots={shots} | packed engine "
+        f"{rate_packed:7.0f}/s  weighted {failures['weighted']} vs uniform "
+        f"{failures['uniform']} failures (paired samples)"
+    )
+    return row
+
+
+def _assert_biased(row: dict) -> None:
+    # Degenerate-weight ties can flip a handful of shots either way; the
+    # DEM-weighted matcher must stay at-or-below the baseline beyond that.
+    slack = max(2, row["shots"] // 2000)
+    assert row["failures_weighted"] <= row["failures_uniform"] + slack, (
+        f"DEM-weighted MWPM ({row['failures_weighted']}) decoded worse than "
+        f"the uniform baseline ({row['failures_uniform']}) under biased noise"
+    )
+
+
 def _write_output(rows: dict) -> None:
     OUTPUT.write_text(json.dumps(rows, indent=2) + "\n")
 
@@ -274,8 +339,10 @@ def test_packed_engine_speedup():
     """d=7, p=1e-3 packed acceptance point; writes BENCH_frame.json."""
     print()
     row = packed_vs_unpacked()
-    _write_output({"packed_vs_unpacked": row})
+    biased = biased_noise_point()
+    _write_output({"packed_vs_unpacked": row, "biased_d7": biased})
     _assert_speedups(row)
+    _assert_biased(biased)
 
 
 def main() -> None:
@@ -291,8 +358,14 @@ def main() -> None:
         row = packed_vs_unpacked(shots=1500, warm_shots=512)
     else:
         row = packed_vs_unpacked()
-    _write_output({"packed_vs_unpacked": row})
+    print("biased-noise point (d=7, p=3e-3, PAULI_CHANNEL_1/2):")
+    if args.quick:
+        biased = biased_noise_point(shots=1500, warm_shots=512)
+    else:
+        biased = biased_noise_point()
+    _write_output({"packed_vs_unpacked": row, "biased_d7": biased})
     _assert_speedups(row)
+    _assert_biased(biased)
     print(f"wrote {OUTPUT}")
 
 

@@ -7,7 +7,9 @@ Public entry points:
 * :mod:`repro.codes` -- Pauli algebra, CSS codes, the rotated surface code
   and the [[8,3,2]] colour code.
 * :mod:`repro.sim` -- circuit IR, state-vector and stabilizer-tableau
-  simulators, circuit-level noise and detector error models.
+  simulators, and the bit-packed Pauli-frame sampler.
+* :mod:`repro.noise` -- pluggable circuit noise models and detector-error
+  -model extraction (weighted decoding graphs).
 * :mod:`repro.decoder` -- matching decoders and logical-error analysis.
 * :mod:`repro.atoms` -- atom-array geometry, AOD move constraints, schedules.
 * :mod:`repro.factory` -- magic-state cultivation + 8T-to-CCZ factory.

@@ -22,9 +22,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
-from repro.decoder.engine import DecodingEngine, SeedLike
+from repro.decoder.engine import DecodingEngine, SeedLike, make_decoder
 from repro.sim.circuit import Circuit
-from repro.sim.memory import memory_circuit, transversal_cnot_experiment
+from repro.sim.frame import FrameSimulator
+from repro.sim.memory import NoiseLike, memory_circuit, transversal_cnot_experiment
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,59 @@ def run_decoding_experiment(
     return LogicalErrorResult(shots=result.shots, failures=result.failures)
 
 
+def paired_failure_counts(
+    circuit: Circuit,
+    decoders: Dict[str, object],
+    shots: int,
+    seed: SeedLike = 0,
+    *,
+    dem=None,
+    shard_shots: int = 1024,
+) -> Dict[str, int]:
+    """Decode one shared sampled syndrome table with several decoders.
+
+    The paired-comparison convention every weighted-vs-uniform and
+    decoder-tradeoff surface uses: the circuit is sampled *once* through
+    the packed pipeline (engine shard layout, so the table matches what
+    ``DecodingEngine.run`` would draw for the same seed), and every
+    decoder consumes the identical bit-packed keys -- failure-count
+    differences are decoder differences, not sampling noise.
+
+    Args:
+        circuit: noisy circuit to sample.
+        decoders: mapping label -> decoder registry name or already-built
+            :class:`~repro.decoder.base.Decoder` (iteration order kept).
+        shots: shots sampled once and decoded by everyone.
+        seed: int or :class:`numpy.random.SeedSequence`.
+        dem: detector error model to build named decoders from; extracted
+            once from ``circuit`` when omitted.
+        shard_shots: engine shard size (changes the sampled stream, not
+            the convention).
+
+    Returns:
+        label -> failure count on observable column 0.
+    """
+    if not decoders:
+        return {}
+    if dem is None and any(isinstance(d, str) for d in decoders.values()):
+        dem = FrameSimulator(circuit).detector_error_model()
+    built = {
+        label: make_decoder(d, dem) if isinstance(d, str) else d
+        for label, d in decoders.items()
+    }
+    sampler = next(iter(built.values()))
+    with DecodingEngine(circuit, sampler, shard_shots=shard_shots) as engine:
+        det_keys, obs_keys = engine.collect(shots, seed=seed)
+    observables = np.unpackbits(obs_keys, axis=1, count=circuit.num_observables)
+    return {
+        label: int(
+            (decoder.decode_packed(det_keys, circuit.num_detectors)[:, 0]
+             ^ observables[:, 0]).sum()
+        )
+        for label, decoder in built.items()
+    }
+
+
 def memory_logical_error(
     distance: int,
     rounds: int,
@@ -107,9 +161,15 @@ def memory_logical_error(
     workers: int = 1,
     target_failures: Optional[int] = None,
     packed: bool = True,
+    noise: NoiseLike = None,
 ) -> LogicalErrorResult:
-    """Logical error of a distance-d memory experiment (whole run)."""
-    circuit = memory_circuit(distance, rounds, p, basis)
+    """Logical error of a distance-d memory experiment (whole run).
+
+    ``noise`` selects the circuit noise model (a
+    :class:`~repro.noise.models.NoiseModel` instance or registry name);
+    the scalar ``p`` stays as uniform-depolarizing sugar.
+    """
+    circuit = memory_circuit(distance, rounds, p, basis, noise=noise)
     return run_decoding_experiment(
         circuit,
         shots,
@@ -141,6 +201,7 @@ def cnot_experiment_rate(
     workers: int = 1,
     target_failures: Optional[int] = None,
     packed: bool = True,
+    noise: NoiseLike = None,
 ) -> Tuple[LogicalErrorResult, int]:
     """Two-patch transversal-CNOT experiment; returns (result, num_cnots).
 
@@ -161,7 +222,9 @@ def cnot_experiment_rate(
     else:
         raise ValueError(f"unknown decoder {decoder!r}")
     cnot_rounds = list(range(cnot_every, rounds, cnot_every))
-    builder = transversal_cnot_experiment(distance, rounds, p, cnot_rounds)
+    builder = transversal_cnot_experiment(
+        distance, rounds, p, cnot_rounds, noise=noise
+    )
     result = run_decoding_experiment(
         builder.circuit,
         shots,

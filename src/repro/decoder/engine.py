@@ -46,8 +46,9 @@ from repro.decoder.graph import DecodingGraph
 from repro.decoder.mwpm import MWPMDecoder
 from repro.decoder.sequential import SequentialCNOTDecoder
 from repro.decoder.union_find import UnionFindDecoder
+from repro.noise.dem import DetectorErrorModel
 from repro.sim.circuit import Circuit
-from repro.sim.frame import DetectorErrorModel, FrameSimulator
+from repro.sim.frame import FrameSimulator
 
 SeedLike = Union[int, np.random.SeedSequence]
 
@@ -102,6 +103,13 @@ def _make_mwpm(dem, *, detector_meta=None, basis="Z"):
     return MWPMDecoder(DecodingGraph.from_dem(dem))
 
 
+def _make_mwpm_uniform(dem, *, detector_meta=None, basis="Z"):
+    # Verification baseline: DEM topology, uniform edge weights (the
+    # hand-built-graph convention).  The DEM-weighted "mwpm" must never
+    # decode worse than this.
+    return MWPMDecoder(DecodingGraph.from_dem_uniform(dem))
+
+
 def _make_union_find(dem, *, detector_meta=None, basis="Z"):
     return UnionFindDecoder(DecodingGraph.from_dem(dem))
 
@@ -113,6 +121,7 @@ def _make_sequential(dem, *, detector_meta=None, basis="Z"):
 
 
 register_decoder("mwpm", _make_mwpm)
+register_decoder("mwpm_uniform", _make_mwpm_uniform)
 register_decoder("union_find", _make_union_find)
 register_decoder("sequential", _make_sequential)
 

@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.sim.frame import DetectorErrorModel, ErrorMechanism
+from repro.noise.dem import DetectorErrorModel, ErrorMechanism
 
 BOUNDARY = -1
 
@@ -108,6 +108,23 @@ class DecodingGraph:
         for mech in composite:
             for part, part_obs in _decompose(mech, known, block_obs):
                 graph.add_mechanism(tuple(sorted(part)), mech.probability, part_obs)
+        return graph
+
+    @classmethod
+    def from_dem_uniform(
+        cls, dem: DetectorErrorModel, probability: float = 1e-3
+    ) -> "DecodingGraph":
+        """DEM topology with every edge pinned to one probability.
+
+        The hand-built uniform-weight graph decoders historically matched
+        on: shortest paths minimize hop count, not likelihood.  Observable
+        masks (and hyperedge decomposition) still come from the true DEM,
+        so only the *metric* is degraded -- the verification baseline the
+        DEM-weighted graph must never decode worse than.
+        """
+        graph = cls.from_dem(dem)
+        for edge in graph._edges.values():
+            edge.probability = probability
         return graph
 
 

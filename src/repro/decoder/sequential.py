@@ -25,7 +25,7 @@ import numpy as np
 from repro.decoder.base import BatchDecoder
 from repro.decoder.graph import DecodingGraph
 from repro.decoder.mwpm import MWPMDecoder
-from repro.sim.frame import DetectorErrorModel
+from repro.noise.dem import DetectorErrorModel
 
 DetectorMeta = Tuple[int, str, int, int]  # (patch, basis, check, round)
 

@@ -13,6 +13,7 @@ from repro.experiments import (
     fig13,
     fig14,
     headline,
+    noise_sweeps,
     tables,
 )
 
@@ -24,5 +25,6 @@ __all__ = [
     "fig13",
     "fig14",
     "headline",
+    "noise_sweeps",
     "tables",
 ]

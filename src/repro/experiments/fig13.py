@@ -23,7 +23,7 @@ from repro.algorithms.factoring import FactoringParameters, estimate_factoring
 from repro.core.idle import optimal_storage_period_volume
 from repro.core.logical_error import required_distance
 from repro.core.params import ArchitectureConfig
-from repro.decoder.analysis import LogicalErrorResult
+from repro.decoder.analysis import LogicalErrorResult, paired_failure_counts
 from repro.decoder.engine import DecodingEngine, make_decoder
 from repro.estimator.registry import Scenario, ScenarioResult, register_scenario
 from repro.estimator.sweep import grid, sweep
@@ -102,9 +102,10 @@ def decoder_tradeoff_monte_carlo(
     p: float = 0.004,
     shots: int = 2000,
     seed: int = 41,
-    decoders: Sequence[str] = ("mwpm", "union_find"),
+    decoders: Sequence[str] = ("mwpm", "mwpm_uniform", "union_find"),
     workers: int = 1,
     target_failures: Optional[int] = None,
+    noise=None,
 ) -> Dict[str, LogicalErrorResult]:
     """Measured logical error per decoder on one memory experiment.
 
@@ -122,8 +123,13 @@ def decoder_tradeoff_monte_carlo(
     Note: setting ``target_failures`` makes each decoder stop at its own
     shot count, so failure *counts* are no longer paired -- compare
     ``rate`` (failures per shot) in that mode, not raw counts.
+
+    ``noise`` selects the circuit noise model (instance or registry name);
+    the default decoder list pairs DEM-weighted MWPM against the
+    uniform-weight baseline graph and union-find, so the table doubles as
+    a weighted-vs-uniform ablation under any model.
     """
-    circuit = memory_circuit(distance, rounds, p)
+    circuit = memory_circuit(distance, rounds, p, noise=noise)
     # Extract the DEM once (the dominant setup cost) and share it across
     # all decoders.
     dem = FrameSimulator(circuit).detector_error_model()
@@ -143,18 +149,17 @@ def decoder_tradeoff_monte_carlo(
                     res = engine.run(shots, seed=np.random.SeedSequence(seed))
             out[name] = LogicalErrorResult(shots=res.shots, failures=res.failures)
         return out
-    built = {name: make_decoder(name, dem) for name in decoders}
-    sampler = built[decoders[0]] if decoders else None
-    with DecodingEngine(circuit, sampler, workers=workers) as engine:
-        det_keys, obs_keys = engine.collect(shots, seed=np.random.SeedSequence(seed))
-    num_obs = circuit.num_observables
-    observables = np.unpackbits(obs_keys, axis=1, count=num_obs)
-    for name in decoders:
-        decoder = built[name]
-        predictions = decoder.decode_packed(det_keys, circuit.num_detectors)
-        failures = int((predictions[:, 0] ^ observables[:, 0]).sum())
-        out[name] = LogicalErrorResult(shots=shots, failures=failures)
-    return out
+    counts = paired_failure_counts(
+        circuit,
+        {name: name for name in decoders},
+        shots,
+        seed=np.random.SeedSequence(seed),
+        dem=dem,
+    )
+    return {
+        name: LogicalErrorResult(shots=shots, failures=failures)
+        for name, failures in counts.items()
+    }
 
 
 def threshold_drop_cost(base: ArchitectureConfig = ArchitectureConfig()) -> float:

@@ -56,6 +56,7 @@ def generate_fig6a(
     workers: int = 1,
     target_failures: Optional[int] = None,
     packed: bool = True,
+    noise=None,
 ) -> Fig6aResult:
     """Run the MC experiments and fit Eq. (4).
 
@@ -68,6 +69,9 @@ def generate_fig6a(
         packed: run each point's engine on the bit-packed compiled
             pipeline (default) or the byte-per-bit reference path; the
             sampled noise and the fits are bit-identical either way.
+        noise: circuit noise model for every experiment -- a
+            :class:`~repro.noise.models.NoiseModel` instance or registry
+            name; ``None`` keeps uniform depolarizing at ``p``.
     """
     root = np.random.SeedSequence(seed)
     memory_seeds = root.spawn(len(distances))
@@ -77,6 +81,7 @@ def generate_fig6a(
         res = memory_logical_error(
             d, rounds, p, shots, seed=point_seed,
             workers=workers, target_failures=target_failures, packed=packed,
+            noise=noise,
         )
         rates.append(per_round_rate(res, rounds))
     memory_fit = fit_memory_model(list(distances), rates)
@@ -87,7 +92,7 @@ def generate_fig6a(
             res, n = cnot_experiment_rate(
                 d, 6, p, every, shots, seed=next(cnot_seeds),
                 workers=workers, target_failures=target_failures,
-                packed=packed,
+                packed=packed, noise=noise,
             )
             if res.failures == 0:
                 continue

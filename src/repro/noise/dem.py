@@ -1,0 +1,192 @@
+"""Detector-error-model extraction and weighted decoding-graph lowering.
+
+The detector error model (DEM) is the contract between a noisy circuit and
+its decoders: for every elementary error mechanism -- one Pauli outcome of
+one noise channel at one circuit location -- it records which detectors
+and logical observables flip when that mechanism fires, together with the
+firing probability.  Mechanisms with identical symptoms are merged by XOR
+convolution.
+
+Extraction propagates each mechanism through the Clifford circuit with the
+Pauli-frame engine of :mod:`repro.sim.frame`, one frame row per mechanism:
+the mechanism's Pauli is injected into its row at the channel's position,
+all deterministic ops conjugate every row at once, and the row's final
+detector/observable flips are the symptom.  This covers every channel of
+the op table (:data:`repro.sim.ops.NOISE`), including the biased
+``PAULI_CHANNEL_1`` / ``PAULI_CHANNEL_2`` whose per-outcome probabilities
+ride in ``Operation.args``.
+
+Lowering: :func:`weighted_graph` turns a DEM into the matching decoders'
+:class:`~repro.decoder.graph.DecodingGraph`, whose edges carry
+log-likelihood-ratio weights ``log((1-p)/p)`` derived from the merged
+mechanism probabilities -- so a biased or movement-aware model reshapes
+the decoders' metric with zero decoder changes.  :func:`uniform_graph`
+builds the same topology with every edge pinned to one probability: the
+hand-built uniform-weight graph the repo's decoders historically matched
+on, kept as the verification baseline the weighted graph must beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; see the lazy imports below
+    from repro.sim.circuit import Circuit
+
+# NOTE: this module sits *below* repro.sim in the import graph
+# (repro.sim.frame re-exports the DEM classes defined here), so importing
+# repro.sim.* at module level would be circular; the op tables are pulled
+# in lazily inside the functions instead.
+
+
+@dataclass(frozen=True)
+class ErrorMechanism:
+    """One independent error source of the detector error model.
+
+    Attributes:
+        probability: chance the mechanism fires in one shot.
+        detectors: sorted indices of detectors it flips.
+        observables: sorted indices of logical observables it flips.
+    """
+
+    probability: float
+    detectors: Tuple[int, ...]
+    observables: Tuple[int, ...]
+
+
+@dataclass
+class DetectorErrorModel:
+    """Collection of independent error mechanisms plus circuit metadata."""
+
+    mechanisms: List[ErrorMechanism]
+    num_detectors: int
+    num_observables: int
+
+    def merged(self) -> "DetectorErrorModel":
+        """Combine mechanisms with identical symptoms.
+
+        Two independent sources with the same symptom act like one source
+        firing with probability p = p1 (1 - p2) + p2 (1 - p1).
+        """
+        combined: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float] = {}
+        for mech in self.mechanisms:
+            key = (mech.detectors, mech.observables)
+            prior = combined.get(key, 0.0)
+            combined[key] = prior * (1 - mech.probability) + mech.probability * (1 - prior)
+        merged = [
+            ErrorMechanism(p, dets, obs)
+            for (dets, obs), p in sorted(combined.items())
+            if p > 0
+        ]
+        return DetectorErrorModel(merged, self.num_detectors, self.num_observables)
+
+
+def enumerate_mechanisms(circuit: "Circuit"):
+    """List (op, probability, x_qubits, z_qubits, tag) for every outcome.
+
+    One entry per elementary Pauli outcome per channel target, in circuit
+    order; the probabilities come straight from the channel parameters
+    (``arg`` for the symmetric channels, ``args`` for the biased ones).
+    """
+    from repro.sim.ops import PAULI_1Q, PAULI_2Q
+
+    mechanisms = []
+    for op in circuit.operations:
+        if op.name == "X_ERROR":
+            for q in op.targets:
+                mechanisms.append((op, op.arg, (q,), (), "X"))
+        elif op.name == "Z_ERROR":
+            for q in op.targets:
+                mechanisms.append((op, op.arg, (), (q,), "Z"))
+        elif op.name == "Y_ERROR":
+            for q in op.targets:
+                mechanisms.append((op, op.arg, (q,), (q,), "Y"))
+        elif op.name in ("DEPOLARIZE1", "PAULI_CHANNEL_1"):
+            probs = (
+                (op.arg / 3.0,) * 3 if op.name == "DEPOLARIZE1" else op.args
+            )
+            for q in op.targets:
+                for (x_bit, z_bit), p in zip(PAULI_1Q, probs):
+                    mechanisms.append(
+                        (op, p, (q,) if x_bit else (), (q,) if z_bit else (), "D1")
+                    )
+        elif op.name in ("DEPOLARIZE2", "PAULI_CHANNEL_2"):
+            probs = (
+                (op.arg / 15.0,) * 15 if op.name == "DEPOLARIZE2" else op.args
+            )
+            for a, b in zip(op.targets[0::2], op.targets[1::2]):
+                for ((xa, za), (xb, zb)), p in zip(PAULI_2Q, probs):
+                    xs = tuple(q for q, bit in ((a, xa), (b, xb)) if bit)
+                    zs = tuple(q for q, bit in ((a, za), (b, zb)) if bit)
+                    mechanisms.append((op, p, xs, zs, "D2"))
+    return mechanisms
+
+
+def extract_dem(circuit: "Circuit") -> DetectorErrorModel:
+    """Extract the DEM by propagating one frame row per error mechanism."""
+    from repro.sim.frame import FrameSimulator, _Cursor
+    from repro.sim.ops import NOISE
+
+    sim = FrameSimulator(circuit)
+    mechanisms = enumerate_mechanisms(circuit)
+    count = len(mechanisms)
+    frame_x = np.zeros((count, sim.num_qubits), dtype=np.uint8)
+    frame_z = np.zeros((count, sim.num_qubits), dtype=np.uint8)
+    flips = np.zeros((count, circuit.num_measurements), dtype=np.uint8)
+    detectors = np.zeros((count, circuit.num_detectors), dtype=np.uint8)
+    observables = np.zeros((count, max(circuit.num_observables, 1)), dtype=np.uint8)
+    cursor = _Cursor()
+    noise_index = 0
+    for op in circuit.operations:
+        if op.name in NOISE:
+            # Inject the mechanisms tied to this op into their rows.
+            while noise_index < count and mechanisms[noise_index][0] is op:
+                _, _, x_flip_qubits, z_flip_qubits, _ = mechanisms[noise_index]
+                row = noise_index
+                for q in x_flip_qubits:
+                    frame_x[row, q] ^= 1
+                for q in z_flip_qubits:
+                    frame_z[row, q] ^= 1
+                noise_index += 1
+        else:
+            sim._apply(
+                op, frame_x, frame_z, flips, detectors, observables, cursor,
+                noisy=False,
+            )
+    out = [
+        ErrorMechanism(
+            probability=prob,
+            detectors=tuple(int(d) for d in np.flatnonzero(detectors[row])),
+            observables=tuple(int(o) for o in np.flatnonzero(observables[row])),
+        )
+        for row, (_, prob, _, _, _) in enumerate(mechanisms)
+    ]
+    dem = DetectorErrorModel(
+        [m for m in out if m.detectors or m.observables],
+        circuit.num_detectors,
+        circuit.num_observables,
+    )
+    return dem.merged()
+
+
+def weighted_graph(dem: DetectorErrorModel):
+    """DEM-weighted decoding graph (LLR edge weights from merged probs)."""
+    from repro.decoder.graph import DecodingGraph
+
+    return DecodingGraph.from_dem(dem)
+
+
+def uniform_graph(dem: DetectorErrorModel, probability: float = 1e-3):
+    """Uniform-weight baseline graph: DEM topology, one edge probability.
+
+    This reproduces the hand-built graphs matching decoders used before
+    DEM weighting existed: every edge equally likely, so MWPM minimizes
+    hop count instead of likelihood.  Kept as the verification baseline
+    -- the DEM-weighted graph must never decode *worse* than this.
+    """
+    from repro.decoder.graph import DecodingGraph
+
+    return DecodingGraph.from_dem_uniform(dem, probability)

@@ -1,0 +1,398 @@
+"""Declarative circuit-level noise models with a string registry.
+
+A :class:`NoiseModel` is a pure ``Circuit -> Circuit`` transformation: the
+experiment builders (:mod:`repro.sim.memory`) emit *clean* circuits --
+gates, resets, measurements, detectors, plus the ``IDLE``/``FENCE``
+markers of :mod:`repro.sim.ops` -- and a noise model inserts the stochastic
+channels.  Builders therefore no longer hand-emit noise ops, and swapping
+the physical error model never touches circuit construction, simulation,
+or decoding: the DEM extraction (:mod:`repro.noise.dem`) reads whatever
+channels the model wrote and reweights the decoders automatically.
+
+Insertion rules (shared by every model; hooks decide *which* channel):
+
+* after each run of consecutive resets: one flip channel per reset op, in
+  op order (``R`` -> bit flips, ``RX`` -> phase flips);
+* after every one-/two-qubit Clifford gate: a gate channel on its targets;
+* before each run of consecutive measurements: one flip channel per
+  maximal same-name sub-run (``M`` -> bit flips, ``MX`` -> phase flips),
+  targets concatenated in op order;
+* at every ``IDLE`` marker: an idle channel on the marked qubits;
+* ``FENCE`` markers only break the run grouping above.
+
+Both markers are consumed -- they never appear in the returned circuit --
+and channels with zero total probability are skipped, so a zero-strength
+model returns the clean circuit itself.  Existing noise ops (e.g. injected
+deterministic errors in tests) pass through untouched.
+
+Models:
+
+* :class:`UniformDepolarizing` -- the paper's Sec. III.4 model, emitting
+  exactly the op stream the builders used to hand-write (golden-pinned in
+  ``tests/golden/emission_*.txt``).
+* :class:`BiasedPauli` -- per-gate X/Y/Z rates through the
+  ``PAULI_CHANNEL_1``/``PAULI_CHANNEL_2`` ops; ``bias`` is the Z:X weight
+  ratio (``bias=1`` reduces to depolarizing rates).
+* :class:`MovementAware` -- idle error inflated by the physically-validated
+  duration of a per-round :class:`~repro.atoms.scheduler.MoveSchedule`
+  through the :func:`repro.core.idle.idle_error_per_period` coherence
+  model, tying the AOD movement layer to the simulated noise.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.atoms.aod import interleave_patches
+from repro.atoms.scheduler import MoveSchedule
+from repro.core.idle import idle_error_per_period
+from repro.core.params import PhysicalParams
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; see the lazy imports below
+    from repro.sim.circuit import Circuit, Operation
+
+# NOTE: repro.sim.memory builds on this module, so importing repro.sim.*
+# here at module level would be circular; the IR and its op tables are
+# pulled in lazily inside apply() instead.
+
+# One inserted channel: (name, targets, total probability, outcome args).
+ChannelSpec = Tuple[str, Tuple[int, ...], float, Tuple[float, ...]]
+
+
+@runtime_checkable
+class NoiseModel(Protocol):
+    """Structural interface: a pure circuit-to-circuit noise transformation."""
+
+    def apply(self, circuit: "Circuit") -> "Circuit": ...
+
+
+class RuleBasedNoiseModel:
+    """Shared insertion walk; subclasses choose the channels per location.
+
+    Hooks return lists of :data:`ChannelSpec`; an empty list (or a spec
+    with zero probability) inserts nothing at that location.
+    """
+
+    # -- hooks ---------------------------------------------------------------
+
+    def after_reset(self, name: str, targets: Tuple[int, ...]) -> List[ChannelSpec]:
+        return []
+
+    def after_gate1(self, targets: Tuple[int, ...]) -> List[ChannelSpec]:
+        return []
+
+    def after_gate2(self, targets: Tuple[int, ...]) -> List[ChannelSpec]:
+        return []
+
+    def before_measurement(self, name: str, targets: Tuple[int, ...]) -> List[ChannelSpec]:
+        return []
+
+    def idle(self, targets: Tuple[int, ...]) -> List[ChannelSpec]:
+        return []
+
+    # -- transformation ------------------------------------------------------
+
+    def apply(self, circuit: "Circuit") -> "Circuit":
+        """Insert this model's channels into a clean circuit."""
+        from repro.sim.circuit import Circuit
+        from repro.sim.ops import CLIFFORD_1Q, CLIFFORD_2Q, MEASUREMENTS, RESETS
+
+        noisy = Circuit()
+        ops = circuit.operations
+        n = len(ops)
+        i = 0
+        while i < n:
+            op = ops[i]
+            if op.name == "FENCE":
+                i += 1
+                continue
+            if op.name == "IDLE":
+                self._emit(noisy, self.idle(op.targets))
+                i += 1
+                continue
+            if op.name in RESETS:
+                j = i
+                while j < n and ops[j].name in RESETS:
+                    _copy(noisy, ops[j])
+                    j += 1
+                for reset in ops[i:j]:
+                    self._emit(noisy, self.after_reset(reset.name, reset.targets))
+                i = j
+                continue
+            if op.name in MEASUREMENTS:
+                j = i
+                while j < n and ops[j].name in MEASUREMENTS:
+                    j += 1
+                for name, targets in _name_runs(ops[i:j]):
+                    self._emit(noisy, self.before_measurement(name, targets))
+                for meas in ops[i:j]:
+                    _copy(noisy, meas)
+                i = j
+                continue
+            _copy(noisy, op)
+            if op.name in CLIFFORD_2Q:
+                self._emit(noisy, self.after_gate2(op.targets))
+            elif op.name in CLIFFORD_1Q:
+                self._emit(noisy, self.after_gate1(op.targets))
+            i += 1
+        return noisy
+
+    @staticmethod
+    def _emit(circuit: "Circuit", channels: List[ChannelSpec]) -> None:
+        for name, targets, arg, args in channels:
+            if arg <= 0.0 or not targets:
+                continue
+            circuit.append(name, targets, arg, args)
+
+
+def _copy(circuit: "Circuit", op: "Operation") -> None:
+    circuit.append(op.name, op.targets, op.arg, op.args)
+
+
+def _name_runs(ops: Sequence["Operation"]):
+    """Maximal same-name sub-runs of an op slice, targets concatenated."""
+    runs: List[Tuple[str, List[int]]] = []
+    for op in ops:
+        if runs and runs[-1][0] == op.name:
+            runs[-1][1].extend(op.targets)
+        else:
+            runs.append((op.name, list(op.targets)))
+    return [(name, tuple(targets)) for name, targets in runs]
+
+
+def _check_probability(p: float) -> float:
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"noise probability out of range: {p}")
+    return p
+
+
+def _convolve(p: float, q: float) -> float:
+    """Probability that exactly one of two independent flips fires."""
+    return p * (1.0 - q) + q * (1.0 - p)
+
+
+class UniformDepolarizing(RuleBasedNoiseModel):
+    """Sec. III.4 circuit noise: depolarize after gates, flip around SPAM.
+
+    Token-identical to the memory builders' historical hand-emitted
+    stream: ``X_ERROR``/``Z_ERROR`` after resets and before measurements
+    (in the basis that corrupts them), ``DEPOLARIZE2`` after each
+    two-qubit gate layer, ``DEPOLARIZE1`` on idling data qubits once per
+    SE round.
+    """
+
+    def __init__(self, p: float) -> None:
+        self.p = _check_probability(p)
+
+    def after_reset(self, name, targets):
+        flip = "X_ERROR" if name == "R" else "Z_ERROR"
+        return [(flip, targets, self.p, ())]
+
+    def after_gate1(self, targets):
+        return [("DEPOLARIZE1", targets, self.p, ())]
+
+    def after_gate2(self, targets):
+        return [("DEPOLARIZE2", targets, self.p, ())]
+
+    def before_measurement(self, name, targets):
+        flip = "X_ERROR" if name == "M" else "Z_ERROR"
+        return [(flip, targets, self.p, ())]
+
+    def idle(self, targets):
+        return [("DEPOLARIZE1", targets, self.p, ())]
+
+    def __repr__(self) -> str:
+        return f"UniformDepolarizing(p={self.p})"
+
+
+class BiasedPauli(RuleBasedNoiseModel):
+    """Biased Pauli noise: Z errors ``bias`` times likelier than X/Y.
+
+    Gate and idle locations emit ``PAULI_CHANNEL_1`` with rates
+    ``p/(2+bias) * (1, 1, bias)`` and ``PAULI_CHANNEL_2`` whose 15
+    outcome probabilities are the normalized products of per-qubit weights
+    ``w(I)=1, w(X)=w(Y)=1, w(Z)=bias`` (total probability ``p`` either
+    way); ``bias=1`` reproduces the depolarizing rates exactly.  Reset and
+    measurement flips keep the basis-appropriate ``p`` of the uniform
+    model -- SPAM bias is a property of readout, not of the bulk channel.
+    """
+
+    def __init__(self, p: float, bias: float = 10.0) -> None:
+        self.p = _check_probability(p)
+        if bias <= 0:
+            raise ValueError(f"bias must be positive, got {bias}")
+        self.bias = bias
+        total = 2.0 + bias
+        self._p1 = (p / total, p / total, p * bias / total)
+        weights = []
+        single = {0: 1.0, 1: 1.0, 2: 1.0, 3: bias}  # I, X, Y, Z
+        for a in range(4):
+            for b in range(4):
+                if a == b == 0:
+                    continue
+                weights.append(single[a] * single[b])
+        norm = sum(weights)
+        self._p2 = tuple(p * w / norm for w in weights)
+
+    def after_reset(self, name, targets):
+        flip = "X_ERROR" if name == "R" else "Z_ERROR"
+        return [(flip, targets, self.p, ())]
+
+    def after_gate1(self, targets):
+        return [("PAULI_CHANNEL_1", targets, self.p, self._p1)]
+
+    def after_gate2(self, targets):
+        return [("PAULI_CHANNEL_2", targets, self.p, self._p2)]
+
+    def before_measurement(self, name, targets):
+        flip = "X_ERROR" if name == "M" else "Z_ERROR"
+        return [(flip, targets, self.p, ())]
+
+    def idle(self, targets):
+        return [("PAULI_CHANNEL_1", targets, self.p, self._p1)]
+
+    def __repr__(self) -> str:
+        return f"BiasedPauli(p={self.p}, bias={self.bias})"
+
+
+def transversal_move_schedule(
+    distance: int, interleave_offset: Optional[int] = None
+) -> MoveSchedule:
+    """Per-round movement of the transversal architecture: patch interleave.
+
+    Builds the AOD-validated round trip of Fig. 3(b): pick up a d x d
+    patch, land it interleaved onto its partner ``interleave_offset``
+    sites away (default: one patch width), pulse, and move it back.  The
+    schedule's physical duration is what :class:`MovementAware` converts
+    into idle error -- through the same :class:`~repro.atoms.aod.BatchMove`
+    validation that guards every gadget timing in :mod:`repro.atoms`.
+    """
+    offset = distance if interleave_offset is None else interleave_offset
+    out = interleave_patches((0, offset), (0, 0), distance)
+    schedule = MoveSchedule()
+    schedule.add_move("interleave:out", out, gate_pulses=1)
+    back = interleave_patches((0, 0), (0, offset), distance)
+    schedule.add_move("interleave:back", back)
+    return schedule
+
+
+class MovementAware(UniformDepolarizing):
+    """Uniform depolarizing plus movement-induced idle error.
+
+    The per-round idle channel no longer fires at the bare gate rate
+    ``p``: the duration of ``schedule`` (the movement executed every SE
+    round, validated against the AOD constraints) is converted to a
+    decoherence probability ``duration / T_coh`` by
+    :func:`repro.core.idle.idle_error_per_period` and XOR-convolved with
+    ``p``.  This is the simulation-side counterpart of the estimator's
+    Eq. (3) idle accounting in :mod:`repro.core.idle`.
+    """
+
+    def __init__(
+        self,
+        p: float,
+        schedule: Optional[MoveSchedule] = None,
+        physical: Optional[PhysicalParams] = None,
+        distance: int = 3,
+    ) -> None:
+        super().__init__(p)
+        self.physical = physical if physical is not None else PhysicalParams()
+        self.schedule = (
+            schedule if schedule is not None else transversal_move_schedule(distance)
+        )
+        self.move_duration = self.schedule.duration(self.physical)
+        self.idle_p = _convolve(
+            p, idle_error_per_period(self.move_duration, self.physical)
+        )
+
+    def idle(self, targets):
+        return [("DEPOLARIZE1", targets, self.idle_p, ())]
+
+    def __repr__(self) -> str:
+        return (
+            f"MovementAware(p={self.p}, idle_p={self.idle_p:.2e}, "
+            f"move_duration={self.move_duration:.2e}s)"
+        )
+
+
+# -- registry ------------------------------------------------------------------
+
+NoiseModelFactory = Callable[..., NoiseModel]
+_REGISTRY: Dict[str, NoiseModelFactory] = {}
+
+
+def register_noise_model(name: str, factory: NoiseModelFactory) -> None:
+    """Register a noise-model factory under ``name``.
+
+    The factory is called with the keyword arguments handed to
+    :func:`make_noise_model` and must return an object satisfying the
+    :class:`NoiseModel` protocol.
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"noise model {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_noise_models() -> Tuple[str, ...]:
+    """Registered noise-model names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_noise_model(name: str, **kwargs) -> NoiseModel:
+    """Build a registered noise model (e.g. ``make_noise_model("biased_pauli", p=1e-3)``)."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown noise model {name!r}; available: {available_noise_models()}"
+        )
+    return factory(**kwargs)
+
+
+def resolve_noise_model(noise, p: float, **context) -> NoiseModel:
+    """Resolve a ``noise=`` argument: instance, registry name, or ``None``.
+
+    ``None`` selects :class:`UniformDepolarizing` at ``p``; an instance
+    passes through untouched.  A registry name is built with ``p`` plus
+    whichever ``context`` kwargs its factory actually accepts -- the
+    experiment builders pass ``distance=`` here, so a name like
+    ``"movement_aware"`` gets the *circuit's* distance (and hence the
+    right move duration) instead of the factory default, while
+    distance-free factories simply never see the kwarg.
+    """
+    if noise is None:
+        return UniformDepolarizing(p)
+    if not isinstance(noise, str):
+        return noise
+    factory = _REGISTRY.get(noise)
+    if factory is None:
+        raise ValueError(
+            f"unknown noise model {noise!r}; available: {available_noise_models()}"
+        )
+    import inspect
+
+    sig = inspect.signature(factory)
+    takes_any = any(
+        param.kind is inspect.Parameter.VAR_KEYWORD
+        for param in sig.parameters.values()
+    )
+    kwargs = {"p": p}
+    kwargs.update(
+        (key, value) for key, value in context.items()
+        if takes_any or key in sig.parameters
+    )
+    return factory(**kwargs)
+
+
+register_noise_model("uniform_depolarizing", UniformDepolarizing)
+register_noise_model("biased_pauli", BiasedPauli)
+register_noise_model("movement_aware", MovementAware)

@@ -10,39 +10,56 @@ A :class:`Circuit` is an ordered list of operations.  Supported names:
   ``M`` (measure Z), ``MX`` (measure X).  Measurements append to a global
   record; operations address records by absolute index.
 * Noise channels: ``X_ERROR``, ``Z_ERROR``, ``Y_ERROR``, ``DEPOLARIZE1``
-  (probability ``arg``), ``DEPOLARIZE2`` on qubit pairs.
+  (probability ``arg``), ``DEPOLARIZE2`` on qubit pairs, and the biased
+  ``PAULI_CHANNEL_1`` / ``PAULI_CHANNEL_2`` whose per-Pauli outcome
+  probabilities live in ``args`` (3 and 15 entries, ordered like
+  :data:`repro.sim.ops.PAULI_1Q` / :data:`repro.sim.ops.PAULI_2Q`).
 * Annotations: ``DETECTOR`` (XOR of measurement records, deterministic
   under no noise), ``OBSERVABLE_INCLUDE`` (adds records to a logical
-  observable, ``arg`` = observable index), ``TICK`` (no-op marker).
+  observable, ``arg`` = observable index), ``TICK`` (no-op marker), and
+  the noise-model markers ``IDLE`` / ``FENCE`` placed by clean builders
+  for :meth:`repro.noise.models.NoiseModel.apply` to consume.
 
 The IR is deliberately stim-like so the detector/observable machinery of
-:mod:`repro.sim.frame` can mirror standard QEC workflows.
+:mod:`repro.sim.frame` can mirror standard QEC workflows.  Op-name
+classification is single-sourced in :mod:`repro.sim.ops`; the historical
+tuple names re-exported here stay importable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
-CLIFFORD_1Q = ("H", "S", "S_DAG", "X", "Y", "Z")
-CLIFFORD_2Q = ("CX", "CZ", "SWAP")
-NON_CLIFFORD = ("T", "T_DAG", "CCZ", "CCX")
-RESETS = ("R", "RX")
-MEASUREMENTS = ("M", "MX")
-NOISE_1Q = ("X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1")
-NOISE_2Q = ("DEPOLARIZE2",)
-ANNOTATIONS = ("DETECTOR", "OBSERVABLE_INCLUDE", "TICK")
-
-ALL_NAMES = (
-    CLIFFORD_1Q
-    + CLIFFORD_2Q
-    + NON_CLIFFORD
-    + RESETS
-    + MEASUREMENTS
-    + NOISE_1Q
-    + NOISE_2Q
-    + ANNOTATIONS
+from repro.sim.ops import (
+    ALL_NAMES,
+    ANNOTATIONS,
+    CHANNEL_ARGS,
+    CLIFFORD_1Q,
+    CLIFFORD_2Q,
+    MEASUREMENTS,
+    NOISE,
+    NOISE_1Q,
+    NOISE_2Q,
+    NON_CLIFFORD,
+    PAIR_TARGETS,
+    RESETS,
 )
+
+__all__ = [
+    "ALL_NAMES",
+    "ANNOTATIONS",
+    "CLIFFORD_1Q",
+    "CLIFFORD_2Q",
+    "MEASUREMENTS",
+    "NOISE_1Q",
+    "NOISE_2Q",
+    "NON_CLIFFORD",
+    "RESETS",
+    "Circuit",
+    "Operation",
+]
 
 
 @dataclass(frozen=True)
@@ -50,23 +67,45 @@ class Operation:
     """One circuit instruction.
 
     Attributes:
-        name: one of ``ALL_NAMES``.
+        name: one of ``repro.sim.ops.ALL_NAMES``.
         targets: qubit indices (gates/noise) or measurement-record indices
             (annotations).
-        arg: probability for noise, observable index for
+        arg: probability for noise (the *total* firing probability for the
+            multi-outcome Pauli channels), observable index for
             ``OBSERVABLE_INCLUDE``; unused otherwise.
+        args: per-outcome probabilities for ``PAULI_CHANNEL_1`` (px, py,
+            pz) and ``PAULI_CHANNEL_2`` (15 entries in ``PAULI_2Q``
+            order); empty for every other op.
     """
 
     name: str
     targets: Tuple[int, ...] = ()
     arg: float = 0.0
+    args: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.name not in ALL_NAMES:
             raise ValueError(f"unknown operation {self.name!r}")
-        if self.name in NOISE_1Q + NOISE_2Q and not 0.0 <= self.arg <= 1.0:
+        if self.name in NOISE and not 0.0 <= self.arg <= 1.0:
             raise ValueError(f"noise probability out of range: {self.arg}")
-        if self.name in CLIFFORD_2Q + NOISE_2Q and len(self.targets) % 2:
+        expected_args = CHANNEL_ARGS.get(self.name)
+        if expected_args is not None:
+            if len(self.args) != expected_args:
+                raise ValueError(
+                    f"{self.name} needs {expected_args} outcome "
+                    f"probabilities, got {len(self.args)}"
+                )
+            if any(p < 0.0 for p in self.args) or sum(self.args) > 1.0 + 1e-12:
+                raise ValueError(
+                    f"{self.name} outcome probabilities invalid: {self.args}"
+                )
+            if not math.isclose(self.arg, sum(self.args), abs_tol=1e-12):
+                raise ValueError(
+                    f"{self.name} total {self.arg} != sum(args) {sum(self.args)}"
+                )
+        elif self.args:
+            raise ValueError(f"{self.name} takes no outcome probabilities")
+        if self.name in PAIR_TARGETS and len(self.targets) % 2:
             raise ValueError(f"{self.name} needs qubit pairs, got {self.targets}")
         if self.name in ("CCZ", "CCX") and len(self.targets) % 3:
             raise ValueError(f"{self.name} needs qubit triples, got {self.targets}")
@@ -81,7 +120,13 @@ class Circuit:
 
     # -- builder ----------------------------------------------------------
 
-    def append(self, name: str, targets: Iterable[int] = (), arg: float = 0.0) -> "Circuit":
+    def append(
+        self,
+        name: str,
+        targets: Iterable[int] = (),
+        arg: float = 0.0,
+        args: Tuple[float, ...] = (),
+    ) -> "Circuit":
         """Append one operation; returns self for chaining.
 
         DETECTOR / OBSERVABLE_INCLUDE targets must address measurement
@@ -91,7 +136,7 @@ class Circuit:
         (which extracts detectors in one deferred XOR-reduce) disagree, so
         they are rejected at construction instead.
         """
-        op = Operation(name, tuple(int(t) for t in targets), arg)
+        op = Operation(name, tuple(int(t) for t in targets), arg, tuple(args))
         if name in ("DETECTOR", "OBSERVABLE_INCLUDE"):
             for rec in op.targets:
                 if not 0 <= rec < self._num_measurements:
@@ -153,6 +198,14 @@ class Circuit:
     def tick(self) -> "Circuit":
         return self.append("TICK")
 
+    def idle(self, qubits: Iterable[int]) -> "Circuit":
+        """Mark ``qubits`` as idling through this moment (noise-model hook)."""
+        return self.append("IDLE", qubits)
+
+    def fence(self) -> "Circuit":
+        """Layer boundary for noise insertion (consumed by noise models)."""
+        return self.append("FENCE")
+
     def depolarize1(self, qubits: Iterable[int], p: float) -> "Circuit":
         return self.append("DEPOLARIZE1", qubits, p)
 
@@ -164,6 +217,21 @@ class Circuit:
 
     def z_error(self, qubits: Iterable[int], p: float) -> "Circuit":
         return self.append("Z_ERROR", qubits, p)
+
+    def pauli_channel_1(
+        self, qubits: Iterable[int], px: float, py: float, pz: float
+    ) -> "Circuit":
+        """Biased single-qubit Pauli channel (X, Y, Z probabilities)."""
+        return self.append(
+            "PAULI_CHANNEL_1", qubits, px + py + pz, (px, py, pz)
+        )
+
+    def pauli_channel_2(
+        self, qubit_pairs: Iterable[int], probabilities: Sequence[float]
+    ) -> "Circuit":
+        """Biased two-qubit Pauli channel (15 probabilities, PAULI_2Q order)."""
+        probs = tuple(float(p) for p in probabilities)
+        return self.append("PAULI_CHANNEL_2", qubit_pairs, sum(probs), probs)
 
     def detector(self, record_indices: Iterable[int]) -> "Circuit":
         """Declare that the XOR of these records is noiselessly constant."""
@@ -201,12 +269,12 @@ class Circuit:
 
     def count(self, name: str) -> int:
         """Total targets count of ops with this name (e.g. CX pair count)."""
-        width = 2 if name in CLIFFORD_2Q + NOISE_2Q else 3 if name in ("CCZ", "CCX") else 1
+        width = 2 if name in PAIR_TARGETS else 3 if name in ("CCZ", "CCX") else 1
         return sum(len(op.targets) // width for op in self.operations if op.name == name)
 
     def __iadd__(self, other: "Circuit") -> "Circuit":
         for op in other.operations:
-            self.append(op.name, op.targets, op.arg)
+            self.append(op.name, op.targets, op.arg, op.args)
         return self
 
     def __len__(self) -> int:
@@ -219,7 +287,7 @@ class Circuit:
         """Copy with all noise channels removed."""
         clean = Circuit()
         for op in self.operations:
-            if op.name in NOISE_1Q + NOISE_2Q:
+            if op.name in NOISE:
                 continue
-            clean.append(op.name, op.targets, op.arg)
+            clean.append(op.name, op.targets, op.arg, op.args)
         return clean

@@ -44,29 +44,20 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.sim.circuit import Circuit
-
-# Single- and two-qubit Pauli tables as (x, z) flip pairs, shared with the
-# reference sampler (repro.sim.frame imports these).
-PAULI_1Q = ((1, 0), (1, 1), (0, 1))  # X, Y, Z
-PAULI_2Q = tuple(
-    (a, b)
-    for a in ((0, 0), (1, 0), (1, 1), (0, 1))
-    for b in ((0, 0), (1, 0), (1, 1), (0, 1))
-    if (a, b) != ((0, 0), (0, 0))
+from repro.sim.ops import (
+    CANONICAL_FRAME_GATE as _CANONICAL,
+    DROPPED_BY_COMPILER as _DROPPED,
+    FUSABLE as _FUSABLE,
+    PAULI_1Q,
+    PAULI_1Q_CODES,
+    PAULI_2Q,
+    PAULI_2Q_CODES,
 )
 
-# Gate names dropped at compile time: Paulis commute through the frame
-# trivially and TICK is a no-op marker.
-_DROPPED = ("X", "Y", "Z", "TICK")
-
-# Canonical fused kinds (S_DAG folds into S, RX into R: identical frame
-# semantics).
-_CANONICAL = {"S_DAG": "S", "RX": "R"}
-
-# Deterministic ops lowered to fused steps; anything not in this set, the
-# noise set, the annotations, or _DROPPED (e.g. non-Clifford T/CCZ) is
-# rejected at compile time with the reference sampler's error.
-_FUSABLE = ("H", "S", "CX", "CZ", "SWAP", "R", "M", "MX")
+# Flip-code lookup tables for the biased Pauli channels, indexed by the
+# searchsorted outcome; the trailing identity entry (code 0) is the miss.
+PC1_CODE_TABLE = np.array(PAULI_1Q_CODES + (0,), dtype=np.uint8)
+PC2_CODE_TABLE = np.array(PAULI_2Q_CODES + (0,), dtype=np.uint8)
 
 
 def _index_array(values: Sequence[int]) -> np.ndarray:
@@ -182,12 +173,29 @@ class CompiledProgram:
                 unique = len(set(op.targets)) == len(op.targets)
                 self.steps.append((name, qs, float(op.arg), unique))
                 continue
+            if name == "PAULI_CHANNEL_1":
+                flush()
+                qs = _index_array(op.targets)
+                unique = len(set(op.targets)) == len(op.targets)
+                self.steps.append(
+                    (name, qs, np.cumsum(np.asarray(op.args)), unique)
+                )
+                continue
             if name == "DEPOLARIZE2":
                 flush()
                 firsts = _index_array(op.targets[0::2])
                 seconds = _index_array(op.targets[1::2])
                 unique = len(set(op.targets)) == len(op.targets)
                 self.steps.append((name, firsts, seconds, unique, float(op.arg)))
+                continue
+            if name == "PAULI_CHANNEL_2":
+                flush()
+                firsts = _index_array(op.targets[0::2])
+                seconds = _index_array(op.targets[1::2])
+                unique = len(set(op.targets)) == len(op.targets)
+                self.steps.append(
+                    (name, firsts, seconds, unique, np.cumsum(np.asarray(op.args)))
+                )
                 continue
             if name not in _FUSABLE:
                 # Same contract as FrameSimulator._apply: unsupported ops
@@ -304,6 +312,22 @@ class CompiledProgram:
                     _xor_packed(zw, firsts, np.packbits(code & 4, axis=1), unique)
                     _xor_packed(xw, seconds, np.packbits(code & 2, axis=1), unique)
                     _xor_packed(zw, seconds, np.packbits(code & 1, axis=1), unique)
+            elif kind == "PAULI_CHANNEL_1":
+                _, qs, cum, unique = step
+                code = pauli_channel_codes(
+                    rng.random((qs.size, shots)), cum, PC1_CODE_TABLE
+                )
+                _xor_packed(xw, qs, np.packbits(code & 2, axis=1), unique)
+                _xor_packed(zw, qs, np.packbits(code & 1, axis=1), unique)
+            elif kind == "PAULI_CHANNEL_2":
+                _, firsts, seconds, unique, cum = step
+                code = pauli_channel_codes(
+                    rng.random((firsts.size, shots)), cum, PC2_CODE_TABLE
+                )
+                _xor_packed(xw, firsts, np.packbits(code & 8, axis=1), unique)
+                _xor_packed(zw, firsts, np.packbits(code & 4, axis=1), unique)
+                _xor_packed(xw, seconds, np.packbits(code & 2, axis=1), unique)
+                _xor_packed(zw, seconds, np.packbits(code & 1, axis=1), unique)
             else:  # pragma: no cover - compile emits only the kinds above
                 raise ValueError(f"unknown compiled step kind {kind!r}")
 
@@ -326,6 +350,22 @@ def _xor_packed(
         frame[qs] ^= packed
     else:
         np.bitwise_xor.at(frame, qs, packed)
+
+
+def pauli_channel_codes(
+    draw: np.ndarray, cumulative: np.ndarray, table: np.ndarray
+) -> np.ndarray:
+    """Biased-channel outcomes as frame-flip bit codes from one draw.
+
+    ``cumulative`` holds the channel's cumulative outcome probabilities
+    (``np.cumsum`` of the per-Pauli ``args``); outcome ``k`` fires when
+    the uniform lands in ``[cum[k-1], cum[k])``, and a draw past the last
+    boundary is a miss, mapped by the lookup ``table``'s trailing identity
+    entry to code 0 (no flips).  Both the reference and the compiled
+    sampler call this helper on the same ``(targets, shots)`` draw, which
+    is what keeps their outputs bit-identical.
+    """
+    return table[np.searchsorted(cumulative, draw, side="right")]
 
 
 def depolarize2_codes(draw: np.ndarray, p: float) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""Pauli-frame Monte-Carlo sampler and detector-error-model extraction.
+"""Pauli-frame Monte-Carlo sampler.
 
 The frame simulator propagates only *errors* through a Clifford circuit:
 the noiseless circuit is assumed to make every DETECTOR deterministic (the
@@ -11,67 +11,29 @@ observable.  Detector values are XORs of measurement flips.
 The same propagation engine, run with one "shot" per elementary error
 mechanism, yields the detector error model (DEM): for every possible
 physical error, the set of detectors and logical observables it flips.
-Mechanisms with identical symptoms are merged with XOR-convolved
-probabilities.  The DEM is what the matching decoder consumes.
+That extraction lives in :mod:`repro.noise.dem` (the
+:class:`DetectorErrorModel` / :class:`ErrorMechanism` classes are
+re-exported here for compatibility); :meth:`FrameSimulator.detector_error_model`
+delegates to it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.noise.dem import DetectorErrorModel, ErrorMechanism  # noqa: F401
 from repro.sim.circuit import Circuit
 from repro.sim.compiled import (
-    PAULI_1Q as _PAULI_1Q,
-    PAULI_2Q as _PAULI_2Q,
+    PC1_CODE_TABLE,
+    PC2_CODE_TABLE,
     CompiledProgram,
     depolarize2_codes,
+    pauli_channel_codes,
     transpose_packed,
 )
-
-
-@dataclass(frozen=True)
-class ErrorMechanism:
-    """One independent error source of the detector error model.
-
-    Attributes:
-        probability: chance the mechanism fires in one shot.
-        detectors: sorted indices of detectors it flips.
-        observables: sorted indices of logical observables it flips.
-    """
-
-    probability: float
-    detectors: Tuple[int, ...]
-    observables: Tuple[int, ...]
-
-
-@dataclass
-class DetectorErrorModel:
-    """Collection of independent error mechanisms plus circuit metadata."""
-
-    mechanisms: List[ErrorMechanism]
-    num_detectors: int
-    num_observables: int
-
-    def merged(self) -> "DetectorErrorModel":
-        """Combine mechanisms with identical symptoms.
-
-        Two independent sources with the same symptom act like one source
-        firing with probability p = p1 (1 - p2) + p2 (1 - p1).
-        """
-        combined: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], float] = {}
-        for mech in self.mechanisms:
-            key = (mech.detectors, mech.observables)
-            prior = combined.get(key, 0.0)
-            combined[key] = prior * (1 - mech.probability) + mech.probability * (1 - prior)
-        merged = [
-            ErrorMechanism(p, dets, obs)
-            for (dets, obs), p in sorted(combined.items())
-            if p > 0
-        ]
-        return DetectorErrorModel(merged, self.num_detectors, self.num_observables)
+from repro.sim.ops import NOISE_MARKERS
 
 
 class FrameSimulator:
@@ -149,70 +111,10 @@ class FrameSimulator:
     # -- detector error model ----------------------------------------------------
 
     def detector_error_model(self) -> DetectorErrorModel:
-        """Extract the DEM by propagating one frame per error mechanism."""
-        mechanisms = self._enumerate_mechanisms()
-        count = len(mechanisms)
-        frame_x = np.zeros((count, self.num_qubits), dtype=np.uint8)
-        frame_z = np.zeros((count, self.num_qubits), dtype=np.uint8)
-        flips = np.zeros((count, self.circuit.num_measurements), dtype=np.uint8)
-        detectors = np.zeros((count, self.circuit.num_detectors), dtype=np.uint8)
-        observables = np.zeros((count, max(self.circuit.num_observables, 1)), dtype=np.uint8)
-        cursor = _Cursor()
-        noise_index = 0
-        for op in self.circuit.operations:
-            if op.name in ("X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1", "DEPOLARIZE2"):
-                # Inject the mechanisms tied to this op into their rows.
-                while noise_index < count and mechanisms[noise_index][0] is op:
-                    _, _, x_flip_qubits, z_flip_qubits, _ = mechanisms[noise_index]
-                    row = noise_index
-                    for q in x_flip_qubits:
-                        frame_x[row, q] ^= 1
-                    for q in z_flip_qubits:
-                        frame_z[row, q] ^= 1
-                    noise_index += 1
-            else:
-                self._apply(op, frame_x, frame_z, flips, detectors, observables, cursor, noisy=False)
-        out = [
-            ErrorMechanism(
-                probability=prob,
-                detectors=tuple(int(d) for d in np.flatnonzero(detectors[row])),
-                observables=tuple(int(o) for o in np.flatnonzero(observables[row])),
-            )
-            for row, (_, prob, _, _, _) in enumerate(mechanisms)
-        ]
-        dem = DetectorErrorModel(
-            [m for m in out if m.detectors or m.observables],
-            self.circuit.num_detectors,
-            self.circuit.num_observables,
-        )
-        return dem.merged()
+        """Extract the circuit's DEM (see :func:`repro.noise.dem.extract_dem`)."""
+        from repro.noise.dem import extract_dem
 
-    def _enumerate_mechanisms(self):
-        """List (op, probability, x_qubits, z_qubits, tag) for every outcome."""
-        mechanisms = []
-        for op in self.circuit.operations:
-            if op.name == "X_ERROR":
-                for q in op.targets:
-                    mechanisms.append((op, op.arg, (q,), (), "X"))
-            elif op.name == "Z_ERROR":
-                for q in op.targets:
-                    mechanisms.append((op, op.arg, (), (q,), "Z"))
-            elif op.name == "Y_ERROR":
-                for q in op.targets:
-                    mechanisms.append((op, op.arg, (q,), (q,), "Y"))
-            elif op.name == "DEPOLARIZE1":
-                for q in op.targets:
-                    for x_bit, z_bit in _PAULI_1Q:
-                        mechanisms.append(
-                            (op, op.arg / 3.0, (q,) if x_bit else (), (q,) if z_bit else (), "D1")
-                        )
-            elif op.name == "DEPOLARIZE2":
-                for a, b in zip(op.targets[0::2], op.targets[1::2]):
-                    for (xa, za), (xb, zb) in _PAULI_2Q:
-                        xs = tuple(q for q, bit in ((a, xa), (b, xb)) if bit)
-                        zs = tuple(q for q, bit in ((a, za), (b, zb)) if bit)
-                        mechanisms.append((op, op.arg / 15.0, xs, zs, "D2"))
-        return mechanisms
+        return extract_dem(self.circuit)
 
     # -- op application ------------------------------------------------------------
 
@@ -225,8 +127,8 @@ class FrameSimulator:
         elif name == "S" or name == "S_DAG":
             for q in op.targets:
                 frame_z[:, q] ^= frame_x[:, q]
-        elif name in ("X", "Y", "Z", "TICK"):
-            return  # Pauli gates commute through the frame trivially.
+        elif name in ("X", "Y", "Z", "TICK") or name in NOISE_MARKERS:
+            return  # Paulis commute through the frame; markers are no-ops.
         elif name == "CX":
             for c, t in zip(op.targets[0::2], op.targets[1::2]):
                 frame_x[:, t] ^= frame_x[:, c]
@@ -292,6 +194,18 @@ class FrameSimulator:
                     z_hit = (row >= op.arg / 3) & (row < op.arg)
                     frame_x[:, q] ^= x_hit.astype(np.uint8)
                     frame_z[:, q] ^= z_hit.astype(np.uint8)
+        elif name == "PAULI_CHANNEL_1":
+            if noisy:
+                # Same helper, same draw shape as the compiled pipeline.
+                code = pauli_channel_codes(
+                    rng.random((len(op.targets), flips.shape[0])),
+                    np.cumsum(np.asarray(op.args)),
+                    PC1_CODE_TABLE,
+                )
+                for i, q in enumerate(op.targets):
+                    row = code[i]
+                    frame_x[:, q] ^= (row >> 1) & 1
+                    frame_z[:, q] ^= row & 1
         elif name == "DEPOLARIZE2":
             if noisy and op.arg > 0:
                 pairs = list(zip(op.targets[0::2], op.targets[1::2]))
@@ -302,6 +216,20 @@ class FrameSimulator:
                 # draw, keeping the two samplers bit-exact.
                 code = depolarize2_codes(
                     rng.random((len(pairs), flips.shape[0])), op.arg
+                )
+                for i, (a, b) in enumerate(pairs):
+                    row = code[i]
+                    frame_x[:, a] ^= (row >> 3) & 1
+                    frame_z[:, a] ^= (row >> 2) & 1
+                    frame_x[:, b] ^= (row >> 1) & 1
+                    frame_z[:, b] ^= row & 1
+        elif name == "PAULI_CHANNEL_2":
+            if noisy:
+                pairs = list(zip(op.targets[0::2], op.targets[1::2]))
+                code = pauli_channel_codes(
+                    rng.random((len(pairs), flips.shape[0])),
+                    np.cumsum(np.asarray(op.args)),
+                    PC2_CODE_TABLE,
                 )
                 for i, (a, b) in enumerate(pairs):
                     row = code[i]

@@ -1,6 +1,6 @@
 """Surface-code memory and transversal-CNOT experiment builders.
 
-Generates noisy circuits in the IR of :mod:`repro.sim.circuit` with DETECTOR
+Generates circuits in the IR of :mod:`repro.sim.circuit` with DETECTOR
 and OBSERVABLE_INCLUDE annotations, in the style of standard QEC memory
 experiments:
 
@@ -11,16 +11,24 @@ experiments:
   are re-routed through the gate so they stay deterministic, which is the
   essence of correlated decoding of transversal algorithms [17].
 
-The circuit-level noise model follows Sec. III.4: a depolarizing channel
-after every gate, and bit-flip noise on resets and before measurements.
+The builders emit *clean* circuits -- gates, SPAM, detectors, and the
+``IDLE``/``FENCE`` noise-location markers of :mod:`repro.sim.ops` -- and
+:meth:`MemoryExperimentBuilder.finalize` applies a pluggable
+:class:`~repro.noise.models.NoiseModel` as a pure circuit transformation.
+The default :class:`~repro.noise.models.UniformDepolarizing` model (the
+scalar ``p=`` remains sugar for it) reproduces the historical hand-emitted
+Sec. III.4 stream token for token (golden-pinned in
+``tests/golden/emission_*.txt``); pass ``noise=`` to run the same
+experiment under biased or movement-aware noise instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.codes.surface_code import RotatedSurfaceCode
+from repro.noise.models import NoiseModel, resolve_noise_model
 from repro.sim.circuit import Circuit
 
 # CNOT scheduling offsets (relative to the plaquette corner).  X ancillas
@@ -30,6 +38,8 @@ from repro.sim.circuit import Circuit
 # tests/test_decoder_montecarlo.py for the distance-suppression check).
 _X_ORDER = ((-1, 0), (-1, -1), (0, 0), (0, -1))
 _Z_ORDER = ((-1, 0), (0, 0), (-1, -1), (0, -1))
+
+NoiseLike = Union[None, str, NoiseModel]
 
 
 @dataclass
@@ -66,7 +76,20 @@ class _SyndromeHistory:
 
 
 class MemoryExperimentBuilder:
-    """Builds (multi-)patch memory circuits with transversal CNOT layers."""
+    """Builds (multi-)patch memory circuits with transversal CNOT layers.
+
+    Args:
+        distance: code distance of every patch.
+        num_patches: patches laid out side by side.
+        basis: memory basis, 'Z' or 'X'.
+        p: physical error rate handed to the noise model (kept as sugar
+            for ``noise="uniform_depolarizing"``).
+        noise: a :class:`~repro.noise.models.NoiseModel` instance or a
+            registry name; ``None`` selects uniform depolarizing at ``p``.
+            Registry names are resolved with this builder's ``distance``,
+            so ``noise="movement_aware"`` derives its move duration from
+            the actual patch size.
+    """
 
     def __init__(
         self,
@@ -74,6 +97,7 @@ class MemoryExperimentBuilder:
         num_patches: int = 1,
         basis: str = "Z",
         p: float = 1e-3,
+        noise: NoiseLike = None,
     ) -> None:
         if basis not in ("Z", "X"):
             raise ValueError(f"basis must be 'Z' or 'X', got {basis}")
@@ -81,6 +105,7 @@ class MemoryExperimentBuilder:
             raise ValueError(f"noise probability out of range: {p}")
         self.basis = basis
         self.p = p
+        self.noise = resolve_noise_model(noise, p, distance=distance)
         self.code = RotatedSurfaceCode(distance)
         self.circuit = Circuit()
         self.patches: List[_PatchLayout] = []
@@ -114,11 +139,9 @@ class MemoryExperimentBuilder:
         for patch_index, patch in enumerate(self.patches):
             qubits = [patch.data(i) for i in range(self.code.num_data)]
             self.circuit.append(reset, qubits)
-            if self.p:
-                if self.basis == "Z":
-                    self.circuit.x_error(qubits, self.p)
-                else:
-                    self.circuit.z_error(qubits, self.p)
+            # Each patch's reset noise is emitted right after its reset op;
+            # the fence keeps the model from coalescing across patches.
+            self.circuit.fence()
             # The memory-basis checks start deterministic (value 0); the
             # conjugate checks are random in round 1.
             if self.basis == "Z":
@@ -138,9 +161,6 @@ class MemoryExperimentBuilder:
             z_anc = [patch.z_ancilla(i) for i in range(len(self.code.z_plaquettes))]
             self.circuit.append("RX", x_anc)
             self.circuit.append("R", z_anc)
-            if self.p:
-                self.circuit.z_error(x_anc, self.p)
-                self.circuit.x_error(z_anc, self.p)
             for step in range(4):
                 pairs: List[int] = []
                 for i, plaq in enumerate(self.code.x_plaquettes):
@@ -153,13 +173,8 @@ class MemoryExperimentBuilder:
                         pairs += [patch.data(neighbor), patch.z_ancilla(i)]
                 if pairs:
                     self.circuit.cx(*pairs)
-                    if self.p:
-                        self.circuit.depolarize2(pairs, self.p)
-            if self.p:
-                data_qubits = [patch.data(i) for i in range(self.code.num_data)]
-                self.circuit.depolarize1(data_qubits, self.p)
-                self.circuit.z_error(x_anc, self.p)
-                self.circuit.x_error(z_anc, self.p)
+            # Data qubits idle through ancilla readout once per round.
+            self.circuit.idle([patch.data(i) for i in range(self.code.num_data)])
             for i, anc in enumerate(x_anc):
                 records[(patch_index, "X", i)] = self.circuit.num_measurements
                 self.circuit.measure_x(anc)
@@ -195,8 +210,6 @@ class MemoryExperimentBuilder:
         for i in range(self.code.num_data):
             pairs += [control.data(i), target.data(i)]
         self.circuit.cx(*pairs)
-        if self.p:
-            self.circuit.depolarize2(pairs, self.p)
         for i in range(len(self.code.x_plaquettes)):
             self._x_history[control_patch].previous[i] = _merge(
                 self._x_history[control_patch].previous[i],
@@ -209,20 +222,18 @@ class MemoryExperimentBuilder:
             )
 
     def finalize(self) -> Circuit:
-        """Final transversal data measurement, detectors and observables."""
+        """Final data measurement, detectors, observables; then apply noise."""
         final_records: List[List[int]] = []
         for patch in self.patches:
             start = self.circuit.num_measurements
             qubits = [patch.data(i) for i in range(self.code.num_data)]
-            if self.p:
-                if self.basis == "Z":
-                    self.circuit.x_error(qubits, self.p)
-                else:
-                    self.circuit.z_error(qubits, self.p)
             if self.basis == "Z":
                 self.circuit.measure(*qubits)
             else:
                 self.circuit.measure_x(*qubits)
+            # Per-patch measurement flips stay separate ops, as emitted
+            # historically.
+            self.circuit.fence()
             final_records.append(list(range(start, start + len(qubits))))
         plaqs = (
             self.code.z_plaquettes if self.basis == "Z" else self.code.x_plaquettes
@@ -252,6 +263,7 @@ class MemoryExperimentBuilder:
         for obs_index in range(len(self.patches)):
             recs = [final_records[obs_index][q] for q in logical]
             self.circuit.observable_include(obs_index, recs)
+        self.circuit = self.noise.apply(self.circuit)
         return self.circuit
 
     def _neighbor(self, corner: Tuple[int, int], offset: Tuple[int, int]) -> Optional[int]:
@@ -269,11 +281,19 @@ def _merge(a: Optional[List[int]], b: Optional[List[int]]) -> Optional[List[int]
     return a + b
 
 
-def memory_circuit(distance: int, rounds: int, p: float, basis: str = "Z") -> Circuit:
+def memory_circuit(
+    distance: int,
+    rounds: int,
+    p: float,
+    basis: str = "Z",
+    noise: NoiseLike = None,
+) -> Circuit:
     """Standard single-patch memory experiment."""
     if rounds < 1:
         raise ValueError("need at least one SE round")
-    builder = MemoryExperimentBuilder(distance, num_patches=1, basis=basis, p=p)
+    builder = MemoryExperimentBuilder(
+        distance, num_patches=1, basis=basis, p=p, noise=noise
+    )
     for _ in range(rounds):
         builder.se_round()
     return builder.finalize()
@@ -286,6 +306,7 @@ def transversal_cnot_experiment(
     cnot_after_rounds: Sequence[int],
     basis: str = "Z",
     alternate_direction: bool = False,
+    noise: NoiseLike = None,
 ) -> MemoryExperimentBuilder:
     """Two-patch memory with transversal CNOTs after the listed rounds.
 
@@ -301,7 +322,9 @@ def transversal_cnot_experiment(
     """
     if rounds < 2:
         raise ValueError("need at least two SE rounds around a CNOT")
-    builder = MemoryExperimentBuilder(distance, num_patches=2, basis=basis, p=p)
+    builder = MemoryExperimentBuilder(
+        distance, num_patches=2, basis=basis, p=p, noise=noise
+    )
     cnot_set = set(cnot_after_rounds)
     direction = 0
     for round_index in range(1, rounds + 1):
@@ -322,8 +345,9 @@ def transversal_cnot_circuit(
     p: float,
     cnot_after_rounds: Sequence[int],
     basis: str = "Z",
+    noise: NoiseLike = None,
 ) -> Circuit:
     """Circuit-only wrapper around :func:`transversal_cnot_experiment`."""
     return transversal_cnot_experiment(
-        distance, rounds, p, cnot_after_rounds, basis
+        distance, rounds, p, cnot_after_rounds, basis, noise=noise
     ).circuit

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.sim.circuit import Circuit
+from repro.sim.ops import ANNOTATIONS
 
 _H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / math.sqrt(2)
 _S = np.diag([1, 1j]).astype(np.complex128)
@@ -185,9 +186,7 @@ class StateVector:
             elif op.name == "MX":
                 for q in op.targets:
                     self.measure_x(q, forced.get(len(self.record)))
-            elif op.name == "TICK":
-                continue
-            elif op.name in ("DETECTOR", "OBSERVABLE_INCLUDE"):
+            elif op.name in ANNOTATIONS:
                 continue
             else:
                 raise ValueError(f"state-vector simulator cannot run {op.name}")

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.sim.circuit import Circuit
+from repro.sim.ops import ANNOTATIONS
 
 
 class TableauSimulator:
@@ -268,7 +269,7 @@ class TableauSimulator:
             elif op.name == "MX":
                 for q in op.targets:
                     self.measure_x(q, forced.get(len(self.record)))
-            elif op.name in ("TICK", "DETECTOR", "OBSERVABLE_INCLUDE"):
+            elif op.name in ANNOTATIONS:
                 continue
             else:
                 raise ValueError(f"tableau simulator cannot run {op.name}")

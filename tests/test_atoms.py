@@ -74,6 +74,42 @@ class TestAODConstraints:
         batch = BatchMove([Move((0, 0), (1, 0)), Move((5, 0), (7, 0))])
         batch.validate()
 
+    # -- negative cases guarding the durations MovementAware consumes ------
+
+    def test_col_crossing_rejected(self):
+        # Column tones 0 and 2 would pass each other mid-move.
+        batch = BatchMove([Move((0, 0), (0, 3)), Move((1, 2), (1, 1))])
+        with pytest.raises(AODViolation):
+            batch.validate()
+
+    def test_col_merge_rejected(self):
+        # Column tones 0 and 2 would land on the same column.
+        batch = BatchMove([Move((0, 0), (0, 2)), Move((1, 2), (1, 2))])
+        with pytest.raises(AODViolation):
+            batch.validate()
+
+    def test_inconsistent_col_shift_rejected(self):
+        # One column tone cannot displace two atoms by different amounts:
+        # such a grab has no product-grid realization.
+        batch = BatchMove([Move((0, 0), (0, 1)), Move((5, 0), (5, 3))])
+        with pytest.raises(AODViolation):
+            batch.validate()
+
+    def test_diagonal_non_product_grab_rejected(self):
+        # A diagonal pair whose columns collapse onto one landing column:
+        # row shifts are consistent, but the implied column-tone motion is
+        # not a product grid (columns 0 and 1 would merge).
+        batch = BatchMove([Move((0, 0), (2, 2)), Move((1, 1), (3, 2))])
+        with pytest.raises(AODViolation):
+            batch.validate()
+
+    def test_row_and_col_violations_reported_independently(self):
+        # Same-row atoms with different row displacements: the row tone
+        # would have to split.
+        batch = BatchMove([Move((2, 0), (3, 0)), Move((2, 4), (5, 4))])
+        with pytest.raises(AODViolation, match="row 2"):
+            batch.validate()
+
     def test_duration_uses_longest_move(self):
         batch = BatchMove([Move((0, 0), (0, 1)), Move((5, 3), (5, 12))])
         expected = BatchMove([Move((5, 3), (5, 12))]).duration(PHYS)

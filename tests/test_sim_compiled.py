@@ -38,7 +38,7 @@ def random_clifford_noise_circuit(rng: np.random.Generator, qubits: int = 6) -> 
     circuit.reset(*range(qubits))
     measured = 0
     for _ in range(40):
-        kind = int(rng.integers(0, 12))
+        kind = int(rng.integers(0, 14))
         q = int(rng.integers(0, qubits))
         a, b = (int(x) for x in rng.choice(qubits, size=2, replace=False))
         p = float(rng.uniform(0.05, 0.5))
@@ -64,8 +64,14 @@ def random_clifford_noise_circuit(rng: np.random.Generator, qubits: int = 6) -> 
             circuit.append("Y_ERROR", (q,), p)
         elif kind == 10:
             circuit.depolarize1([a, b], p)
-        else:
+        elif kind == 11:
             circuit.depolarize2([a, b], p)
+        elif kind == 12:
+            px, py, pz = (float(x) for x in rng.dirichlet((1, 1, 1)) * p)
+            circuit.pauli_channel_1([a, b], px, py, pz)
+        else:
+            probs = rng.dirichlet(np.ones(15)) * p
+            circuit.pauli_channel_2([a, b], [float(x) for x in probs])
         # Interleave measurements so records accumulate mid-circuit.
         if rng.random() < 0.25:
             if rng.random() < 0.5:
@@ -133,6 +139,38 @@ class TestPackedUnpackedEquivalence:
             .detector([1])
         )
         assert_bit_identical(circuit, shots=128, seed=9)
+
+    def test_pauli_channel_duplicate_targets_and_biases(self):
+        # Biased channels: duplicate targets draw independently, zero and
+        # extreme outcome probabilities behave, packed stays bit-exact.
+        circuit = (
+            Circuit()
+            .pauli_channel_1([0, 0, 1], 0.2, 0.0, 0.5)
+            .pauli_channel_2([0, 1, 0, 1], [0.4] + [0.0] * 13 + [0.3])
+            .pauli_channel_1([2], 0.0, 0.0, 0.0)
+            .h(0, 1, 2)
+            .measure_x(0, 1)
+            .measure(2)
+            .detector([0])
+            .detector([1])
+            .detector([2])
+        )
+        assert_bit_identical(circuit, shots=160, seed=21)
+
+    def test_noise_markers_are_dropped(self):
+        # IDLE / FENCE are builder-side markers; both samplers skip them.
+        circuit = (
+            Circuit()
+            .idle([0, 1])
+            .fence()
+            .x_error([0, 1], 0.4)
+            .measure(0, 1)
+            .detector([0])
+            .detector([1])
+        )
+        program = CompiledProgram(circuit)
+        assert all(s[0] not in ("IDLE", "FENCE") for s in program.steps)
+        assert_bit_identical(circuit, shots=64, seed=6)
 
     def test_zero_probability_and_zero_shots(self):
         circuit = memory_circuit(3, 3, 0.0)
