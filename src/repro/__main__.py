@@ -13,6 +13,7 @@ Usage:
     python -m repro --jobs 4 fig11    # shard sweeps over worker processes
     python -m repro fig13 --param target_error=1e-11
     python -m repro serve --port 8000 # HTTP estimation service
+    python -m repro lint --all        # diagnostics over every scenario
 
 With ``REPRO_STORE_DIR`` set (or ``--store-dir`` given), results are
 warm-started from -- and persisted to -- the on-disk result store shared
@@ -163,6 +164,10 @@ def main(argv: List[str]) -> None:
 
         serve(argv[1:])
         return
+    if argv and argv[0] == "lint":
+        from repro.analysis.lint import lint_main
+
+        sys.exit(lint_main(argv[1:]))
 
     parser = build_parser()
     args = parser.parse_args(argv)

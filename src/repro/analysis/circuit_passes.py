@@ -1,0 +1,220 @@
+"""Structural verification passes: pure walks over the operation list.
+
+These passes need nothing beyond the circuit itself (no DEM extraction,
+no graph lowering), so they are cheap enough for the experiment builders
+to run on every construction under the ``strict`` flag.
+
+Registered passes:
+
+* ``record_dataflow`` -- every ``DETECTOR``/``OBSERVABLE_INCLUDE`` record
+  reference resolves to a measurement that exists at that point in the
+  circuit; measurements no annotation ever reads are warned about.
+* ``qubit_liveness`` -- gates/measurements on qubits that were never
+  reset, and ill-formed multi-qubit targets (a two-qubit gate pairing a
+  qubit with itself, repeated qubits in a CCZ/CCX triple or in one
+  reset/measure op).
+* ``noise_placement`` -- the builder/noise-model contract: clean circuits
+  carry no channels, transformed circuits carry no leftover
+  ``IDLE``/``FENCE`` markers, and channel probabilities are sane.
+* ``timing_overlap`` -- two deterministic ops touching the same qubit
+  between consecutive ``TICK`` markers (skipped entirely for circuits
+  that use no ``TICK``s, like the builders' un-scheduled emission).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Set
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.passes import PassContext, register_pass
+from repro.sim.ops import (
+    ANNOTATIONS,
+    CLIFFORD_1Q,
+    CLIFFORD_2Q,
+    MEASUREMENTS,
+    NOISE,
+    NOISE_MARKERS,
+    NON_CLIFFORD,
+    PAIR_TARGETS,
+    RESETS,
+)
+
+_GATES = CLIFFORD_1Q + CLIFFORD_2Q + NON_CLIFFORD
+
+
+def record_dataflow(ctx: PassContext) -> Iterator[Diagnostic]:
+    """Record references resolve; unused measurement records are flagged."""
+    name = "record_dataflow"
+    cursor = 0
+    used: Set[int] = set()
+    for index, op in enumerate(ctx.circuit.operations):
+        if op.name in MEASUREMENTS:
+            cursor += len(op.targets)
+            continue
+        if op.name not in ("DETECTOR", "OBSERVABLE_INCLUDE"):
+            continue
+        if not op.targets:
+            yield Diagnostic(
+                "warning", name,
+                f"{op.name} has an empty record list (a constant annotation)",
+                op_index=index,
+            )
+        for rec in op.targets:
+            if 0 <= rec < cursor:
+                used.add(rec)
+            else:
+                yield Diagnostic(
+                    "error", name,
+                    f"{op.name} references measurement record {rec}, but only "
+                    f"records [0, {cursor}) exist at this point in the circuit",
+                    op_index=index,
+                )
+    unused = sorted(set(range(cursor)) - used)
+    if unused:
+        head = ", ".join(str(r) for r in unused[:5])
+        more = ", ..." if len(unused) > 5 else ""
+        yield Diagnostic(
+            "warning", name,
+            f"{len(unused)} of {cursor} measurement records are never "
+            f"referenced by any DETECTOR/OBSERVABLE_INCLUDE ({head}{more})",
+        )
+
+
+def qubit_liveness(ctx: PassContext) -> Iterator[Diagnostic]:
+    """Resets precede use; multi-qubit target lists are well-formed."""
+    name = "qubit_liveness"
+    live: Set[int] = set()
+    warned_unreset: Set[int] = set()
+    for index, op in enumerate(ctx.circuit.operations):
+        if op.name in RESETS:
+            seen: Set[int] = set()
+            for q in op.targets:
+                if q in seen:
+                    yield Diagnostic(
+                        "warning", name,
+                        f"{op.name} resets qubit {q} more than once in one op",
+                        op_index=index,
+                    )
+                seen.add(q)
+            live.update(op.targets)
+            continue
+        if op.name in PAIR_TARGETS:
+            for a, b in zip(op.targets[0::2], op.targets[1::2]):
+                if a == b:
+                    yield Diagnostic(
+                        "error", name,
+                        f"{op.name} pairs qubit {a} with itself",
+                        op_index=index,
+                    )
+        elif op.name in ("CCZ", "CCX"):
+            for i in range(0, len(op.targets), 3):
+                triple = op.targets[i : i + 3]
+                if len(set(triple)) != len(triple):
+                    yield Diagnostic(
+                        "error", name,
+                        f"{op.name} triple {triple} repeats a qubit",
+                        op_index=index,
+                    )
+        elif op.name in MEASUREMENTS:
+            seen = set()
+            for q in op.targets:
+                if q in seen:
+                    yield Diagnostic(
+                        "warning", name,
+                        f"{op.name} measures qubit {q} more than once in one op",
+                        op_index=index,
+                    )
+                seen.add(q)
+        if op.name in _GATES or op.name in MEASUREMENTS:
+            for q in op.targets:
+                if q not in live and q not in warned_unreset:
+                    warned_unreset.add(q)
+                    yield Diagnostic(
+                        "warning", name,
+                        f"{op.name} acts on qubit {q} before any reset "
+                        f"(frame simulation assumes an implicit |0>)",
+                        op_index=index,
+                    )
+
+
+def noise_placement(ctx: PassContext) -> Iterator[Diagnostic]:
+    """Builder/noise-model contract plus channel-probability sanity."""
+    name = "noise_placement"
+    circuit = ctx.circuit
+    has_noise = any(op.name in NOISE for op in circuit.operations)
+    flag_markers = ctx.expect_clean is False or (
+        ctx.expect_clean is None and has_noise
+    )
+    for index, op in enumerate(circuit.operations):
+        if op.name in NOISE_MARKERS:
+            if flag_markers:
+                yield Diagnostic(
+                    "error", name,
+                    f"leftover {op.name} marker; noise models must consume "
+                    f"every IDLE/FENCE they are applied over",
+                    op_index=index,
+                )
+            continue
+        if op.name not in NOISE:
+            continue
+        if ctx.expect_clean is True:
+            yield Diagnostic(
+                "error", name,
+                f"noise channel {op.name} in a clean builder circuit "
+                f"(channels are the noise model's job)",
+                op_index=index,
+            )
+        if math.isnan(op.arg):
+            yield Diagnostic(
+                "error", name, f"{op.name} probability is NaN", op_index=index
+            )
+        elif op.arg == 0.0:
+            yield Diagnostic(
+                "warning", name,
+                f"{op.name} with zero probability never fires (dead weight)",
+                op_index=index,
+            )
+        elif op.arg > 0.5:
+            yield Diagnostic(
+                "warning", name,
+                f"{op.name} probability {op.arg} exceeds 1/2 (beyond the "
+                f"maximally-mixing point; deliberate error injection?)",
+                op_index=index,
+            )
+
+
+def timing_overlap(ctx: PassContext) -> Iterator[Diagnostic]:
+    """Same qubit touched twice between consecutive TICKs.
+
+    Only meaningful for circuits that carry an explicit ``TICK`` schedule;
+    the builders emit un-scheduled streams (no ``TICK`` at all), for which
+    this pass is silent rather than flagging every reuse.
+    """
+    name = "timing_overlap"
+    ops = ctx.circuit.operations
+    if not any(op.name == "TICK" for op in ops):
+        return
+    touched: Dict[int, int] = {}
+    for index, op in enumerate(ops):
+        if op.name == "TICK":
+            touched = {}
+            continue
+        if op.name in ANNOTATIONS or op.name in NOISE:
+            continue
+        for q in set(op.targets):
+            if q in touched:
+                yield Diagnostic(
+                    "warning", name,
+                    f"qubit {q} is touched by ops {touched[q]} and {index} "
+                    f"between consecutive TICKs",
+                    op_index=index,
+                )
+            else:
+                touched[q] = index
+
+
+register_pass("record_dataflow", record_dataflow)
+register_pass("qubit_liveness", qubit_liveness)
+register_pass("noise_placement", noise_placement)
+register_pass("timing_overlap", timing_overlap)

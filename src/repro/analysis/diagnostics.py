@@ -1,0 +1,134 @@
+"""Diagnostic records for the circuit-IR verifier and lint framework.
+
+A :class:`Diagnostic` is one finding of one verification pass: a severity,
+the pass that produced it, a human-readable message, and -- when the
+finding is anchored to a specific instruction -- the op index in the
+circuit under verification.  Passes *collect* diagnostics instead of
+raising at the first defect, so a single :func:`repro.analysis.verify`
+call reports every problem of a broken circuit at once; the
+:class:`DiagnosticReport` the driver returns is the unit callers filter,
+render, or gate on.
+
+Severities, in increasing order of badness:
+
+* ``info`` -- observation, never gates anything.
+* ``warning`` -- suspicious but simulatable/decodable (unused measurement
+  records, zero-probability channels, boundary-unreachable components).
+* ``error`` -- the circuit/DEM/graph violates an invariant some consumer
+  relies on; sampling or decoding it would be silently wrong or crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Tuple
+
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
+_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity name (higher is worse)."""
+    try:
+        return _RANK[severity]
+    except KeyError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one verification pass.
+
+    Attributes:
+        severity: one of :data:`SEVERITIES`.
+        pass_name: registry name of the pass that produced the finding.
+        message: human-readable description of the defect.
+        op_index: index into ``circuit.operations`` the finding anchors
+            to, or ``None`` for circuit-/DEM-/graph-global findings.
+        target: what was being verified (a scenario circuit label, a
+            source file path, ...); filled in by drivers that verify many
+            targets in one run.
+    """
+
+    severity: str
+    pass_name: str
+    message: str
+    op_index: Optional[int] = None
+    target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)
+
+    @property
+    def rank(self) -> int:
+        return _RANK[self.severity]
+
+    def with_target(self, target: str) -> "Diagnostic":
+        return replace(self, target=target)
+
+    def render(self) -> str:
+        where = f" op {self.op_index}" if self.op_index is not None else ""
+        prefix = f"{self.target}: " if self.target else ""
+        return f"{prefix}{self.severity}[{self.pass_name}]{where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class DiagnosticReport:
+    """Every diagnostic collected by one verification run."""
+
+    diagnostics: Tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return self.at_least("error")
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    def at_least(self, severity: str) -> Tuple[Diagnostic, ...]:
+        """Diagnostics at or above ``severity``."""
+        floor = severity_rank(severity)
+        return tuple(d for d in self.diagnostics if d.rank >= floor)
+
+    def by_pass(self, pass_name: str) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.pass_name == pass_name)
+
+    def pass_names(self, min_severity: str = "info") -> Tuple[str, ...]:
+        """Sorted names of passes that reported at ``min_severity`` or worse."""
+        return tuple(sorted({d.pass_name for d in self.at_least(min_severity)}))
+
+    def ok(self, fail_on: str = "error") -> bool:
+        """True when nothing at or above ``fail_on`` severity was found."""
+        return not self.at_least(fail_on)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> "DiagnosticReport":
+        return DiagnosticReport(self.diagnostics + tuple(diagnostics))
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        return "\n".join(d.render() for d in self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+
+class VerificationError(ValueError):
+    """Raised by verification drivers when a report crosses ``fail_on``.
+
+    Carries the full :class:`DiagnosticReport` (every finding of every
+    pass, not just the first), so the exception message shows the complete
+    picture of a broken circuit in one shot.
+    """
+
+    def __init__(self, report: DiagnosticReport, fail_on: str = "error") -> None:
+        self.report = report
+        self.fail_on = fail_on
+        over = report.at_least(fail_on)
+        super().__init__(
+            f"verification failed with {len(over)} diagnostic(s) at or above "
+            f"{fail_on!r}:\n" + "\n".join(d.render() for d in report.diagnostics)
+        )

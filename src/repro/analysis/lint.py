@@ -1,0 +1,120 @@
+"""``python -m repro lint``: diagnostics over scenarios, circuits, sources.
+
+One invocation runs, in order:
+
+1. the global ``registry_contract`` pass (every registered decoder, noise
+   model, and scenario is constructible and protocol-conformant);
+2. the full circuit-verification suite over every selected scenario's
+   representative lint circuits (scenarios publish them through
+   ``Scenario.lint_circuits``; analytic scenarios with no circuit are
+   covered by step 1 alone);
+3. with ``--source``, the AST-level source lint of
+   :mod:`repro.analysis.source_lint` over the whole package.
+
+Exit status is 1 when any diagnostic at or above ``--fail-on`` (default
+``error``) was produced -- the CI gate -- and 0 otherwise; warnings are
+rendered either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.analysis.passes import PassContext, available_passes, run_passes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically verify registered scenarios' circuits, "
+        "registry contracts, and (with --source) the package sources.",
+    )
+    parser.add_argument(
+        "sections",
+        nargs="*",
+        metavar="SCENARIO",
+        help="scenario names to lint (default: every registered scenario)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="lint every registered scenario (the default when no names "
+        "are given; explicit for CI command lines)",
+    )
+    parser.add_argument(
+        "--source",
+        action="store_true",
+        help="also run the AST source lint over the repro package",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default="error",
+        help="severity that makes the exit status non-zero (default: error)",
+    )
+    parser.add_argument(
+        "-q", "--quiet",
+        action="store_true",
+        help="print only gating diagnostics and the summary",
+    )
+    return parser
+
+
+def _lint_scenarios(names: List[str]) -> List[Diagnostic]:
+    from repro.estimator.registry import get_scenario
+
+    diagnostics: List[Diagnostic] = []
+    # Global registry contracts once, not per scenario.
+    report = run_passes(PassContext(), available_passes(scope="global"))
+    diagnostics.extend(d.with_target("registry") for d in report.diagnostics)
+    circuit_passes = available_passes(scope="circuit")
+    for name in names:
+        scenario = get_scenario(name)
+        if scenario.lint_circuits is None:
+            continue
+        for label, circuit in scenario.lint_circuits().items():
+            report = run_passes(
+                PassContext(circuit, expect_clean=False), circuit_passes
+            )
+            diagnostics.extend(
+                d.with_target(f"{name}:{label}") for d in report.diagnostics
+            )
+    return diagnostics
+
+
+def lint_main(argv: List[str]) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    from repro.estimator.registry import available_scenarios
+
+    known = available_scenarios()
+    if args.sections and args.all:
+        parser.error("give scenario names or --all, not both")
+    names = list(args.sections) if args.sections else list(known)
+    unknown = sorted(set(names) - set(known))
+    if unknown:
+        parser.error(
+            f"unknown scenario(s): {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(known)}"
+        )
+
+    diagnostics = _lint_scenarios(names)
+    if args.source:
+        from repro.analysis.source_lint import lint_source
+
+        diagnostics.extend(lint_source().diagnostics)
+
+    report = DiagnosticReport(tuple(diagnostics))
+    shown = report.at_least(args.fail_on) if args.quiet else report.diagnostics
+    for diagnostic in shown:
+        print(diagnostic.render())
+    gating = report.at_least(args.fail_on)
+    print(
+        f"lint: {len(names)} scenario(s), "
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+        + (" [source lint included]" if args.source else "")
+    )
+    return 1 if gating else 0

@@ -1,0 +1,207 @@
+"""Verification-pass registry and the ``verify`` driver.
+
+Mirrors the repo's other string registries (decoders in
+:mod:`repro.decoder.engine`, noise models in :mod:`repro.noise.models`,
+scenarios in :mod:`repro.estimator.registry`): a pass registers a callable
+under a stable name, and drivers select passes by name.
+
+A pass is ``Callable[[PassContext], Iterable[Diagnostic]]``.  The context
+carries the circuit under verification plus lazily-built derived objects
+(the DEM and the decoding graph), so expensive extraction happens at most
+once per verification run and only when some selected pass asks for it.
+Passes come in two scopes:
+
+* ``circuit`` -- verifies one circuit (and/or its DEM/graph); these make
+  up the default suite of :func:`verify`.
+* ``global`` -- verifies repo-level contracts (the decoder/noise/scenario
+  registries); run by the ``python -m repro lint`` driver, not per
+  circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    VerificationError,
+    severity_rank,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.decoder.graph import DecodingGraph
+    from repro.noise.dem import DetectorErrorModel
+    from repro.sim.circuit import Circuit
+
+
+@dataclass
+class PassContext:
+    """Everything a verification pass may inspect.
+
+    Attributes:
+        circuit: the circuit under verification (``None`` for global
+            passes).
+        expect_clean: the noise-placement contract stage: ``True`` for a
+            clean builder circuit (noise channels are defects), ``False``
+            for a post-noise-model circuit (leftover ``IDLE``/``FENCE``
+            markers are defects), ``None`` when unknown (only the
+            marker/channel *coexistence* is a defect).
+    """
+
+    circuit: Optional["Circuit"] = None
+    expect_clean: Optional[bool] = None
+    _dem: Optional["DetectorErrorModel"] = field(default=None, repr=False)
+    _graph: Optional["DecodingGraph"] = field(default=None, repr=False)
+
+    def dem(self) -> "DetectorErrorModel":
+        """The circuit's DEM, extracted once and cached on the context."""
+        if self._dem is None:
+            if self.circuit is None:
+                raise ValueError("PassContext has no circuit to extract a DEM from")
+            from repro.noise.dem import extract_dem
+
+            self._dem = extract_dem(self.circuit)
+        return self._dem
+
+    def graph(self) -> "DecodingGraph":
+        """The DEM's decoding graph, lowered once and cached."""
+        if self._graph is None:
+            from repro.decoder.graph import DecodingGraph
+
+            self._graph = DecodingGraph.from_dem(self.dem())
+        return self._graph
+
+
+Pass = Callable[[PassContext], Iterable[Diagnostic]]
+
+_SCOPES = ("circuit", "global")
+_REGISTRY: Dict[str, Tuple[Pass, str]] = {}
+
+
+def register_pass(name: str, fn: Pass, *, scope: str = "circuit") -> None:
+    """Register a verification pass under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"verification pass {name!r} is already registered")
+    if scope not in _SCOPES:
+        raise ValueError(f"unknown pass scope {scope!r}; expected one of {_SCOPES}")
+    _REGISTRY[name] = (fn, scope)
+
+
+def _ensure_loaded() -> None:
+    # The builtin passes self-register when their modules import.
+    import repro.analysis.circuit_passes  # noqa: F401
+    import repro.analysis.dem_passes  # noqa: F401
+    import repro.analysis.registry_passes  # noqa: F401
+
+
+def available_passes(scope: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered pass names in registration order, optionally one scope."""
+    _ensure_loaded()
+    return tuple(
+        name for name, (_, s) in _REGISTRY.items() if scope is None or s == scope
+    )
+
+
+def get_pass(name: str) -> Pass:
+    """Look up a pass; raises ``ValueError`` naming the alternatives."""
+    _ensure_loaded()
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ValueError(
+            f"unknown verification pass {name!r}; available: {available_passes()}"
+        )
+    return entry[0]
+
+
+# The cheap structural passes (pure walks over the op list).  Builders run
+# these under their ``strict`` flag; the DEM/graph passes are deferred to
+# the verified extraction entry points and ``python -m repro lint``, so
+# strict building never pays for a second DEM extraction.
+STRUCTURAL_PASSES: Tuple[str, ...] = (
+    "record_dataflow",
+    "qubit_liveness",
+    "noise_placement",
+    "timing_overlap",
+)
+
+
+def run_passes(
+    ctx: PassContext, passes: Sequence[str]
+) -> DiagnosticReport:
+    """Run the named passes over one context, collecting every diagnostic."""
+    collected: List[Diagnostic] = []
+    for name in passes:
+        collected.extend(get_pass(name)(ctx))
+    return DiagnosticReport(tuple(collected))
+
+
+def verify(
+    circuit: "Circuit",
+    *,
+    passes: Optional[Sequence[str]] = None,
+    fail_on: Optional[str] = "error",
+    expect_clean: Optional[bool] = None,
+) -> DiagnosticReport:
+    """Statically verify a circuit, collecting diagnostics from every pass.
+
+    Args:
+        circuit: the circuit to verify.
+        passes: pass names to run; defaults to every registered
+            circuit-scoped pass (structural walks plus DEM/graph
+            consistency).  Unknown names raise ``ValueError`` up front.
+        fail_on: severity at (or above) which the *completed* report is
+            raised as :class:`VerificationError`; ``None`` never raises.
+            All selected passes run to completion first, so the exception
+            carries every finding, not just the first.
+        expect_clean: noise-placement stage; see :class:`PassContext`.
+
+    Returns:
+        The full :class:`DiagnosticReport` (when below the ``fail_on``
+        threshold, or when ``fail_on`` is ``None``).
+    """
+    if passes is None:
+        passes = available_passes(scope="circuit")
+    else:
+        for name in passes:
+            get_pass(name)  # validate every name before running anything
+    if fail_on is not None:
+        severity_rank(fail_on)
+    report = run_passes(PassContext(circuit, expect_clean=expect_clean), passes)
+    if fail_on is not None and not report.ok(fail_on):
+        raise VerificationError(report, fail_on)
+    return report
+
+
+def verify_dem(
+    dem: "DetectorErrorModel", *, fail_on: Optional[str] = "error"
+) -> DiagnosticReport:
+    """Verify a detector error model in isolation (no circuit needed)."""
+    from repro.analysis.dem_passes import check_dem
+
+    report = DiagnosticReport(tuple(check_dem(dem)))
+    if fail_on is not None and not report.ok(fail_on):
+        raise VerificationError(report, fail_on)
+    return report
+
+
+def verify_graph(
+    graph: "DecodingGraph", *, fail_on: Optional[str] = "error"
+) -> DiagnosticReport:
+    """Verify a lowered decoding graph in isolation."""
+    from repro.analysis.dem_passes import check_graph
+
+    report = DiagnosticReport(tuple(check_graph(graph)))
+    if fail_on is not None and not report.ok(fail_on):
+        raise VerificationError(report, fail_on)
+    return report

@@ -82,8 +82,17 @@ class DecodingGraph:
         return self._edges.get(frozenset((a, b)))
 
     @classmethod
-    def from_dem(cls, dem: DetectorErrorModel) -> "DecodingGraph":
-        """Build the graph, decomposing hyperedges into edge products."""
+    def from_dem(
+        cls, dem: DetectorErrorModel, *, verify: bool = False
+    ) -> "DecodingGraph":
+        """Build the graph, decomposing hyperedges into edge products.
+
+        With ``verify=True`` the lowered graph is checked by the
+        ``dem_consistency`` diagnostics of :mod:`repro.analysis`
+        (isolated detectors, boundary reachability, edge-probability
+        sanity); error-severity findings raise
+        :class:`~repro.analysis.VerificationError`.
+        """
         graph = cls(dem.num_detectors, dem.num_observables)
         simple: List[ErrorMechanism] = []
         composite: List[ErrorMechanism] = []
@@ -108,6 +117,10 @@ class DecodingGraph:
         for mech in composite:
             for part, part_obs in _decompose(mech, known, block_obs):
                 graph.add_mechanism(tuple(sorted(part)), mech.probability, part_obs)
+        if verify:
+            from repro.analysis import verify_graph
+
+            verify_graph(graph)
         return graph
 
     @classmethod

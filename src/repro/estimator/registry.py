@@ -71,6 +71,11 @@ class Scenario:
         render: formats a result as the CLI's text output.
         order: position in the canonical ``all`` sequence.
         in_all: whether ``python -m repro all`` includes this scenario.
+        lint_circuits: optional zero-argument callable returning a
+            ``{label: Circuit}`` mapping of small representative (noisy)
+            circuits for ``python -m repro lint`` to verify.  Scenarios
+            without circuits (analytic resource tables) leave it ``None``
+            and are still covered by the ``registry_contract`` pass.
     """
 
     name: str
@@ -79,6 +84,7 @@ class Scenario:
     render: Callable[[ScenarioResult], str]
     order: int = 1000
     in_all: bool = True
+    lint_circuits: Optional[Callable[[], Dict[str, Any]]] = None
 
     def run(self, jobs: int = 1, **params: Any) -> ScenarioResult:
         result = self.build(jobs=jobs, **params)

@@ -217,10 +217,16 @@ def _render_fig13(result: ScenarioResult) -> str:
     return "\n".join(lines)
 
 
+def _lint_fig13():
+    """The decoder-tradeoff memory circuit at its default parameters."""
+    return {"memory_d3": memory_circuit(3, 3, 0.004)}
+
+
 register_scenario(Scenario(
     name="fig13",
     description="volume sensitivity to decoding factor and coherence time (Fig. 13)",
     build=_build_fig13,
     render=_render_fig13,
     order=70,
+    lint_circuits=_lint_fig13,
 ))

@@ -151,10 +151,21 @@ def _render_fig6b_result(result: ScenarioResult) -> str:
     return render_fig6b({r["se_rounds"]: r["volume"] for r in result.records})
 
 
+def _lint_fig6():
+    """Smallest instances of the Fig. 6(a) Monte-Carlo circuit families."""
+    from repro.sim.memory import memory_circuit, transversal_cnot_circuit
+
+    return {
+        "memory_d3": memory_circuit(3, 4, 0.003),
+        "cnot_d3": transversal_cnot_circuit(3, 6, 0.003, (2, 4)),
+    }
+
+
 register_scenario(Scenario(
     name="fig6b",
     description="space-time volume per CNOT vs SE rounds per CNOT (Fig. 6(b))",
     build=_build_fig6b,
     render=_render_fig6b_result,
     order=40,
+    lint_circuits=_lint_fig6,
 ))

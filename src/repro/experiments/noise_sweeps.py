@@ -154,6 +154,25 @@ def _render_memory_movement(result: ScenarioResult) -> str:
     return "\n".join(lines)
 
 
+def _lint_memory_biased():
+    """Smallest-instance circuits the biased sweep decodes, one per bias."""
+    return {
+        f"bias{bias:g}": memory_circuit(
+            3, 2, 0.004, basis="X", noise=BiasedPauli(0.004, bias=bias)
+        )
+        for bias in DEFAULT_BIASES
+    }
+
+
+def _lint_memory_movement():
+    model = MovementAware(
+        0.002,
+        physical=PhysicalParams().rescaled(coherence_time=DEFAULT_COHERENCE_TIMES[0]),
+        distance=3,
+    )
+    return {"movement": memory_circuit(3, 2, 0.002, noise=model)}
+
+
 register_scenario(Scenario(
     name="memory_biased",
     description="memory logical error under biased Pauli noise: DEM-weighted vs uniform MWPM",
@@ -161,6 +180,7 @@ register_scenario(Scenario(
     render=_render_memory_biased,
     order=110,
     in_all=False,
+    lint_circuits=_lint_memory_biased,
 ))
 
 register_scenario(Scenario(
@@ -170,4 +190,5 @@ register_scenario(Scenario(
     render=_render_memory_movement,
     order=111,
     in_all=False,
+    lint_circuits=_lint_memory_movement,
 ))

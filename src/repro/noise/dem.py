@@ -90,11 +90,19 @@ def enumerate_mechanisms(circuit: "Circuit"):
     One entry per elementary Pauli outcome per channel target, in circuit
     order; the probabilities come straight from the channel parameters
     (``arg`` for the symmetric channels, ``args`` for the biased ones).
+
+    Every op classified as noise by :data:`repro.sim.ops.NOISE` must be
+    handled here: an unrecognized channel raises instead of being silently
+    skipped, because a skipped channel yields a DEM that underweights the
+    true error process -- decoders would quietly decode against the wrong
+    metric (a wrong logical error rate, not a crash).
     """
-    from repro.sim.ops import PAULI_1Q, PAULI_2Q
+    from repro.sim.ops import NOISE, PAULI_1Q, PAULI_2Q
 
     mechanisms = []
     for op in circuit.operations:
+        if op.name not in NOISE:
+            continue
         if op.name == "X_ERROR":
             for q in op.targets:
                 mechanisms.append((op, op.arg, (q,), (), "X"))
@@ -122,11 +130,25 @@ def enumerate_mechanisms(circuit: "Circuit"):
                     xs = tuple(q for q, bit in ((a, xa), (b, xb)) if bit)
                     zs = tuple(q for q, bit in ((a, za), (b, zb)) if bit)
                     mechanisms.append((op, p, xs, zs, "D2"))
+        else:
+            raise ValueError(
+                f"noise op {op.name!r} has no DEM mechanism enumeration; "
+                f"extending repro.sim.ops.NOISE requires extending "
+                f"enumerate_mechanisms in lockstep"
+            )
     return mechanisms
 
 
-def extract_dem(circuit: "Circuit") -> DetectorErrorModel:
-    """Extract the DEM by propagating one frame row per error mechanism."""
+def extract_dem(circuit: "Circuit", *, verify: bool = False) -> DetectorErrorModel:
+    """Extract the DEM by propagating one frame row per error mechanism.
+
+    With ``verify=True`` the extracted model is checked by the
+    ``dem_consistency`` diagnostics of :mod:`repro.analysis` (detector
+    coverage, probability sanity, undetectable logical mechanisms) and
+    error-severity findings raise
+    :class:`~repro.analysis.VerificationError` before any consumer can
+    decode against a malformed model.
+    """
     from repro.sim.frame import FrameSimulator, _Cursor
     from repro.sim.ops import NOISE
 
@@ -169,7 +191,12 @@ def extract_dem(circuit: "Circuit") -> DetectorErrorModel:
         circuit.num_detectors,
         circuit.num_observables,
     )
-    return dem.merged()
+    dem = dem.merged()
+    if verify:
+        from repro.analysis import verify_dem
+
+        verify_dem(dem)
+    return dem
 
 
 def weighted_graph(dem: DetectorErrorModel):

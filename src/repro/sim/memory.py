@@ -24,6 +24,7 @@ experiment under biased or movement-aware noise instead.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -40,6 +41,16 @@ _X_ORDER = ((-1, 0), (-1, -1), (0, 0), (0, -1))
 _Z_ORDER = ((-1, 0), (0, 0), (-1, -1), (0, -1))
 
 NoiseLike = Union[None, str, NoiseModel]
+
+
+def _strict_default() -> bool:
+    """Builder strict-verification default: the ``REPRO_STRICT`` env var.
+
+    The test suite turns it on globally (``tests/conftest.py``), so every
+    circuit a test builds is statically verified at construction; regular
+    library use keeps verification opt-in.
+    """
+    return os.environ.get("REPRO_STRICT", "") not in ("", "0")
 
 
 @dataclass
@@ -89,6 +100,12 @@ class MemoryExperimentBuilder:
             Registry names are resolved with this builder's ``distance``,
             so ``noise="movement_aware"`` derives its move duration from
             the actual patch size.
+        strict: run the structural verifier passes of
+            :mod:`repro.analysis` on the clean circuit (before the noise
+            transform) and on the finalized noisy circuit, raising
+            :class:`~repro.analysis.VerificationError` on error-severity
+            diagnostics.  ``None`` (the default) reads the ``REPRO_STRICT``
+            environment variable, which the test suite sets.
     """
 
     def __init__(
@@ -98,6 +115,7 @@ class MemoryExperimentBuilder:
         basis: str = "Z",
         p: float = 1e-3,
         noise: NoiseLike = None,
+        strict: Optional[bool] = None,
     ) -> None:
         if basis not in ("Z", "X"):
             raise ValueError(f"basis must be 'Z' or 'X', got {basis}")
@@ -105,6 +123,7 @@ class MemoryExperimentBuilder:
             raise ValueError(f"noise probability out of range: {p}")
         self.basis = basis
         self.p = p
+        self.strict = _strict_default() if strict is None else strict
         self.noise = resolve_noise_model(noise, p, distance=distance)
         self.code = RotatedSurfaceCode(distance)
         self.circuit = Circuit()
@@ -263,8 +282,29 @@ class MemoryExperimentBuilder:
         for obs_index in range(len(self.patches)):
             recs = [final_records[obs_index][q] for q in logical]
             self.circuit.observable_include(obs_index, recs)
+        if self.strict:
+            self._verify(self.circuit, expect_clean=True)
         self.circuit = self.noise.apply(self.circuit)
+        if self.strict:
+            self._verify(self.circuit, expect_clean=False)
         return self.circuit
+
+    @staticmethod
+    def _verify(circuit: Circuit, *, expect_clean: bool) -> None:
+        """Strict-mode structural verification (cheap op-list walks only).
+
+        The DEM/graph consistency pass is deliberately excluded here: it
+        re-runs extraction, which every decoding consumer performs -- and
+        can gate via ``extract_dem(..., verify=True)`` -- anyway.
+        """
+        from repro.analysis import STRUCTURAL_PASSES, verify
+
+        verify(
+            circuit,
+            passes=STRUCTURAL_PASSES,
+            expect_clean=expect_clean,
+            fail_on="error",
+        )
 
     def _neighbor(self, corner: Tuple[int, int], offset: Tuple[int, int]) -> Optional[int]:
         coord = (corner[0] + offset[0], corner[1] + offset[1])
@@ -287,12 +327,13 @@ def memory_circuit(
     p: float,
     basis: str = "Z",
     noise: NoiseLike = None,
+    strict: Optional[bool] = None,
 ) -> Circuit:
     """Standard single-patch memory experiment."""
     if rounds < 1:
         raise ValueError("need at least one SE round")
     builder = MemoryExperimentBuilder(
-        distance, num_patches=1, basis=basis, p=p, noise=noise
+        distance, num_patches=1, basis=basis, p=p, noise=noise, strict=strict
     )
     for _ in range(rounds):
         builder.se_round()
@@ -307,6 +348,7 @@ def transversal_cnot_experiment(
     basis: str = "Z",
     alternate_direction: bool = False,
     noise: NoiseLike = None,
+    strict: Optional[bool] = None,
 ) -> MemoryExperimentBuilder:
     """Two-patch memory with transversal CNOTs after the listed rounds.
 
@@ -323,7 +365,7 @@ def transversal_cnot_experiment(
     if rounds < 2:
         raise ValueError("need at least two SE rounds around a CNOT")
     builder = MemoryExperimentBuilder(
-        distance, num_patches=2, basis=basis, p=p, noise=noise
+        distance, num_patches=2, basis=basis, p=p, noise=noise, strict=strict
     )
     cnot_set = set(cnot_after_rounds)
     direction = 0
@@ -346,8 +388,10 @@ def transversal_cnot_circuit(
     cnot_after_rounds: Sequence[int],
     basis: str = "Z",
     noise: NoiseLike = None,
+    strict: Optional[bool] = None,
 ) -> Circuit:
     """Circuit-only wrapper around :func:`transversal_cnot_experiment`."""
     return transversal_cnot_experiment(
-        distance, rounds, p, cnot_after_rounds, basis, noise=noise
+        distance, rounds, p, cnot_after_rounds, basis, noise=noise,
+        strict=strict,
     ).circuit

@@ -1,0 +1,13 @@
+"""Shared test configuration.
+
+Strict IR verification is on for the whole suite: every circuit the
+experiment builders construct during tests passes the structural
+diagnostics passes of :mod:`repro.analysis` (clean before the noise
+transform, marker-free after), so an invariant regression anywhere in the
+builder/noise pipeline fails loudly here instead of skewing a logical
+error rate downstream.  Individual tests opt out with ``strict=False``.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_STRICT", "1")

@@ -1,0 +1,167 @@
+"""AST source lint: the repo is clean, and planted defects are caught."""
+
+import textwrap
+
+from repro.analysis.source_lint import lint_file, lint_source, source_root
+
+
+def _lint_snippet(tmp_path, code, **kwargs):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(code))
+    return lint_file(path, **kwargs)
+
+
+class TestRepoSources:
+    def test_repo_sources_have_no_errors(self):
+        report = lint_source()
+        assert report.ok("error"), report.render()
+
+    def test_known_unseeded_default_rng_fallbacks_warn(self):
+        # The simulators' rng=None fallbacks are deliberate; the lint
+        # keeps them visible as warnings without gating on them.
+        report = lint_source()
+        files = {d.target for d in report.warnings}
+        assert any(f.endswith("sim/frame.py") for f in files)
+
+    def test_source_root_is_the_package(self):
+        assert (source_root() / "__init__.py").exists()
+        assert source_root().name == "repro"
+
+
+class TestGlobalRngRule:
+    def test_np_random_seed_is_an_error(self, tmp_path):
+        diags = _lint_snippet(tmp_path, """
+            import numpy as np
+            def f():
+                np.random.seed(1)
+                return np.random.randint(10)
+        """)
+        assert [d.severity for d in diags] == ["error", "error"]
+        assert "np.random.seed" in diags[0].message
+
+    def test_numpy_alias_is_resolved(self, tmp_path):
+        diags = _lint_snippet(tmp_path, """
+            import numpy
+            def f():
+                return numpy.random.shuffle([1, 2])
+        """)
+        assert [d.severity for d in diags] == ["error"]
+
+    def test_from_import_of_global_rng_function(self, tmp_path):
+        diags = _lint_snippet(tmp_path, """
+            from numpy.random import randint
+        """)
+        assert [d.severity for d in diags] == ["error"]
+        assert "numpy.random.randint" in diags[0].message
+
+    def test_argless_default_rng_is_a_warning(self, tmp_path):
+        diags = _lint_snippet(tmp_path, """
+            import numpy as np
+            def f(rng=None):
+                return rng or np.random.default_rng()
+        """)
+        assert [d.severity for d in diags] == ["warning"]
+
+    def test_seeded_apis_are_clean(self, tmp_path):
+        diags = _lint_snippet(tmp_path, """
+            import numpy as np
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                ss = np.random.SeedSequence(seed)
+                return rng, ss.spawn(2)
+        """)
+        assert diags == []
+
+    def test_unrelated_random_attribute_is_clean(self, tmp_path):
+        # Someone's own object with a .random.seed chain isn't numpy.
+        diags = _lint_snippet(tmp_path, """
+            def f(sim):
+                sim.random.seed(3)
+        """)
+        assert diags == []
+
+
+POOL_PREAMBLE = textwrap.dedent("""
+    from multiprocessing import Pool
+    _WORKER = {}
+    _CACHE = {}
+    def _init(payload):
+        _WORKER["payload"] = payload
+    def run(items, payload):
+        with Pool(2, initializer=_init, initargs=(payload,)) as pool:
+            return pool.map(_shard, items)
+""")
+
+
+class TestWorkerStateRule:
+    def test_worker_writing_module_state_is_an_error(self, tmp_path):
+        diags = _lint_snippet(tmp_path, POOL_PREAMBLE + textwrap.dedent("""
+            def _shard(item):
+                _CACHE[item] = item * 2
+                return _CACHE[item]
+        """))
+        assert [d.severity for d in diags] == ["error"]
+        assert "_CACHE" in diags[0].message
+
+    def test_global_rebind_in_worker_is_an_error(self, tmp_path):
+        diags = _lint_snippet(tmp_path, POOL_PREAMBLE + textwrap.dedent("""
+            def _shard(item):
+                global _CACHE
+                _CACHE = {}
+                return item
+        """))
+        assert any("rebinds module global" in d.message for d in diags)
+
+    def test_worker_dict_is_allowed(self, tmp_path):
+        diags = _lint_snippet(tmp_path, POOL_PREAMBLE + textwrap.dedent("""
+            def _shard(item):
+                return _WORKER["payload"][item]
+        """))
+        assert diags == []
+
+    def test_initializer_itself_may_write_worker_dict(self, tmp_path):
+        # _init assigns into _WORKER; that is the sanctioned idiom.
+        diags = _lint_snippet(tmp_path, POOL_PREAMBLE + textwrap.dedent("""
+            def _shard(item):
+                return item
+        """))
+        assert diags == []
+
+    def test_custom_worker_state_allowlist(self, tmp_path):
+        code = POOL_PREAMBLE + textwrap.dedent("""
+            def _shard(item):
+                _CACHE[item] = item
+                return item
+        """)
+        assert _lint_snippet(tmp_path, code, worker_state=("_WORKER", "_CACHE")) == []
+
+    def test_non_worker_functions_may_write_module_state(self, tmp_path):
+        diags = _lint_snippet(tmp_path, """
+            _CACHE = {}
+            def remember(k, v):
+                _CACHE[k] = v
+        """)
+        assert diags == []
+
+
+class TestLintFile:
+    def test_syntax_error_becomes_a_diagnostic(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        diags = lint_file(path)
+        assert [d.severity for d in diags] == ["error"]
+        assert "syntax error" in diags[0].message
+
+    def test_diagnostics_carry_the_file_as_target(self, tmp_path):
+        diags = _lint_snippet(tmp_path, """
+            import numpy as np
+            np.random.seed(0)
+        """)
+        assert diags[0].target.endswith("snippet.py")
+        assert "line 3:" in diags[0].message
+
+    def test_lint_source_accepts_explicit_paths(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        report = lint_source([clean])
+        assert len(report) == 0

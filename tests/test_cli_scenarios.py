@@ -225,3 +225,56 @@ class TestRenderTableII:
 
         out = render_table_ii({"ours": {"window_exp": 3}})
         assert "window_exp" in out
+
+
+class TestLintCLI:
+    """python -m repro lint: the static-analysis driver's CLI surface."""
+
+    @staticmethod
+    def _run_lint(*argv):
+        repo_root = Path(__file__).parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *argv],
+            capture_output=True, text=True, cwd=repo_root, env=env,
+        )
+
+    def test_in_process_single_scenario_is_clean(self, capsys):
+        from repro.analysis.lint import lint_main
+
+        assert lint_main(["fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_in_process_unknown_scenario_exits_2(self, capsys):
+        from repro.analysis.lint import lint_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["nonesuch"])
+        assert excinfo.value.code == 2
+        assert "nonesuch" in capsys.readouterr().err
+
+    def test_in_process_names_plus_all_rejected(self, capsys):
+        from repro.analysis.lint import lint_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["fig13", "--all"])
+        assert excinfo.value.code == 2
+
+    def test_all_scenarios_clean_in_subprocess(self):
+        """The CI gate: zero error-severity diagnostics repo-wide."""
+        proc = self._run_lint("--all")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 error(s)" in proc.stdout
+
+    def test_source_lint_warnings_do_not_gate_by_default(self):
+        proc = self._run_lint("fig13", "--source")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_fail_on_warning_gates_source_warnings(self):
+        # The simulators' unseeded default_rng fallbacks are known
+        # warnings, so tightening the threshold must flip the exit code.
+        proc = self._run_lint("fig13", "--source", "--fail-on", "warning")
+        assert proc.returncode == 1
+        assert "default_rng" in proc.stdout

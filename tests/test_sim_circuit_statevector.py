@@ -59,6 +59,52 @@ class TestCircuitIR:
         assert a.num_measurements == 1
 
 
+class TestRecordReferenceValidation:
+    """append() rejects record references that don't resolve yet."""
+
+    def test_detector_forward_reference_rejected(self):
+        c = Circuit().reset(0).measure(0)
+        with pytest.raises(ValueError, match=r"record 1.*\[0, 1\)"):
+            c.detector([1])
+
+    def test_detector_negative_reference_rejected(self):
+        c = Circuit().reset(0).measure(0)
+        with pytest.raises(ValueError, match="record -1"):
+            c.detector([-1])
+
+    def test_detector_before_any_measurement_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 0\)"):
+            Circuit().detector([0])
+
+    def test_observable_forward_reference_rejected(self):
+        c = Circuit().reset(0).measure(0)
+        with pytest.raises(ValueError, match="record 3"):
+            c.observable_include(0, [0, 3])
+
+    def test_observable_negative_reference_rejected(self):
+        c = Circuit().reset(0).measure(0)
+        with pytest.raises(ValueError, match="record -2"):
+            c.observable_include(0, [-2])
+
+    def test_rejected_append_leaves_circuit_unchanged(self):
+        c = Circuit().reset(0).measure(0)
+        before = len(c)
+        with pytest.raises(ValueError):
+            c.detector([5])
+        assert len(c) == before
+
+    def test_empty_record_lists_are_allowed(self):
+        # Degenerate but legal: a constant detector / empty observable.
+        c = Circuit().detector([]).observable_include(0, [])
+        assert c.num_detectors == 1
+        assert c.num_observables == 1
+
+    def test_boundary_record_accepted(self):
+        c = Circuit().reset(0, 1).measure(0, 1)
+        c.detector([0, 1])  # both in range: no raise
+        assert c.num_detectors == 1
+
+
 class TestStateVector:
     def test_initial_state(self):
         sv = StateVector(2)

@@ -115,8 +115,11 @@ class TestTransversalCnotCircuit:
     def test_logical_state_transfer(self):
         # Functional check: X on patch 0 then CX(0->1) flips patch 1's
         # logical Z readout; verified via the observable with an injected
-        # deterministic error.
-        builder = MemoryExperimentBuilder(3, num_patches=2, basis="Z", p=0.0)
+        # deterministic error (hence strict=False: deliberate channel in
+        # the clean circuit).
+        builder = MemoryExperimentBuilder(
+            3, num_patches=2, basis="Z", p=0.0, strict=False
+        )
         builder.se_round()
         # Apply logical X on patch 0 (column of physical X).
         code = builder.code
