@@ -1,6 +1,6 @@
 """Bench: Monte-Carlo decoding engine throughput (packed pipeline + dedup).
 
-Two benchmark families, both written into ``BENCH_frame.json``:
+Three benchmark families, all written into ``BENCH_frame.json``:
 
 * **Decode path** (:func:`test_engine_speedup_and_determinism`) -- the
   established d=5 anchor comparing per-shot blossom (the pre-engine
@@ -23,6 +23,14 @@ Two benchmark families, both written into ``BENCH_frame.json``:
   baseline's shots/sec, and the packed and unpacked configurations must
   return bit-identical failure counts for the same seed (also asserted,
   on full detector tables, in ``tests/test_sim_compiled.py``).
+* **Periodic round-compilation** (:func:`periodic_vs_linear`,
+  :func:`periodic_d11_point`) -- the cold per-circuit pipeline (DEM
+  extraction + program compilation + packed sampling) under the
+  round-replay compiler vs the linear compiler, at d=7 p=1e-3 (>= 2x
+  acceptance target) and a d=11 p=5e-4 low-p point.  Both paths must
+  agree exactly: equal DEMs post-``merged()`` and bit-identical sampled
+  planes per seed (property-tested across the full op/noise matrix in
+  ``tests/test_sim_periodic.py``).
 
 Methodology: every configuration is warmed up first (compiles the packed
 program, fills the decoder's cluster cache the same number of warm shots
@@ -42,13 +50,16 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.cache import clear_caches
 from repro.decoder.analysis import paired_failure_counts
 from repro.decoder.engine import DecodingEngine, make_decoder
 from repro.decoder.graph import DecodingGraph
 from repro.decoder.mwpm import MWPMDecoder
+from repro.noise.dem import extract_dem
 from repro.noise.models import BiasedPauli
 from repro.sim.frame import FrameSimulator
 from repro.sim.memory import memory_circuit
+from repro.sim.periodic import PeriodicProgram, compile_program
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_frame.json"
@@ -269,6 +280,138 @@ def biased_noise_point(
     return row
 
 
+# -- periodic round-compilation -------------------------------------------------
+
+
+PERIODIC_SPEEDUP_TARGET = 2.0
+# Quick/CI floor: the periodic path must never be slower than linear; the
+# margin absorbs single-run wobble on loaded runners.
+PERIODIC_QUICK_FLOOR = 0.95
+
+
+def _timed_cold_pipeline(circuit, method, mode, shots, seed):
+    """Median-of-repeats end-to-end pipeline time: DEM + compile + sample.
+
+    Every repeat starts cold (the compiled-program cache is cleared), so
+    the rate charges the full per-circuit setup cost -- DEM extraction and
+    program compilation -- on top of the packed sampling run, matching how
+    an estimator first touches a new circuit.  One untimed warm-up pass
+    absorbs one-time process costs (imports, allocator growth).
+    """
+
+    def once(run_seed):
+        clear_caches()
+        start = time.perf_counter()
+        dem = extract_dem(circuit, method=method)
+        program = compile_program(circuit, mode=mode)
+        detectors, observables = program.run_packed(
+            shots, np.random.default_rng(run_seed)
+        )
+        elapsed = time.perf_counter() - start
+        return elapsed, dem, program, detectors, observables
+
+    once(seed)  # warm-up
+    results = [once(seed) for _ in range(TIMING_REPEATS)]
+    elapsed = statistics.median(r[0] for r in results)
+    _, dem, program, detectors, observables = results[0]
+    return shots / elapsed, dem, program, detectors, observables
+
+
+def periodic_vs_linear(distance=7, p=1e-3, shots=4096, seed=43):
+    """Round-replay compiler vs the linear compiler, end to end.
+
+    Times DEM extraction + compilation + packed sampling as one cold
+    pipeline per repeat (median of ``TIMING_REPEATS`` after warm-up), and
+    asserts the two paths agree exactly: the periodic DEM must equal the
+    linear DEM mechanism-for-mechanism, and the sampled detector and
+    observable planes must be bit-identical at the fixed seed.
+    """
+    circuit = memory_circuit(distance, distance + 1, p)
+    rate_lin, dem_lin, prog_lin, det_lin, obs_lin = _timed_cold_pipeline(
+        circuit, "linear", "linear", shots, seed
+    )
+    rate_per, dem_per, prog_per, det_per, obs_per = _timed_cold_pipeline(
+        circuit, "periodic", "periodic", shots, seed
+    )
+    assert isinstance(prog_per, PeriodicProgram), (
+        f"d={distance} memory circuit must take the periodic compile path"
+    )
+    assert dem_lin.mechanisms == dem_per.mechanisms, (
+        "periodic DEM must equal the linear DEM mechanism-for-mechanism"
+    )
+    assert np.array_equal(det_lin, det_per) and np.array_equal(obs_lin, obs_per), (
+        "periodic replay must be bit-identical to linear execution per seed"
+    )
+
+    row = {
+        "distance": distance,
+        "p": p,
+        "shots": shots,
+        "rounds": distance + 1,
+        "linear_shots_per_s": rate_lin,
+        "periodic_shots_per_s": rate_per,
+        "speedup": rate_per / rate_lin,
+        "bit_identical": True,
+        "dem_equal": True,
+    }
+    print(
+        f"  d={distance} p={p:g} shots={shots} | linear {rate_lin:7.0f}/s  "
+        f"periodic {rate_per:7.0f}/s ({row['speedup']:.1f}x, cold "
+        f"DEM+compile+sample)"
+    )
+    return row
+
+
+def periodic_d11_point(p=5e-4, shots=2048, seed=53):
+    """d=11 low-p point: periodic median-of-3 vs a single linear reference.
+
+    The linear pipeline at d=11 is dominated by the O(rounds) DEM
+    extraction and takes >10s per repeat, so it is timed once; the
+    periodic path is still the median of ``TIMING_REPEATS`` cold runs.
+    """
+    distance, rounds = 11, 12
+    circuit = memory_circuit(distance, rounds, p)
+
+    clear_caches()
+    start = time.perf_counter()
+    dem_lin = extract_dem(circuit, method="linear")
+    prog_lin = compile_program(circuit, mode="linear")
+    det_lin, obs_lin = prog_lin.run_packed(shots, np.random.default_rng(seed))
+    rate_lin = shots / (time.perf_counter() - start)
+
+    rate_per, dem_per, prog_per, det_per, obs_per = _timed_cold_pipeline(
+        circuit, "periodic", "periodic", shots, seed
+    )
+    assert isinstance(prog_per, PeriodicProgram)
+    assert dem_lin.mechanisms == dem_per.mechanisms
+    assert np.array_equal(det_lin, det_per) and np.array_equal(obs_lin, obs_per)
+
+    row = {
+        "distance": distance,
+        "p": p,
+        "shots": shots,
+        "rounds": rounds,
+        "linear_shots_per_s": rate_lin,
+        "linear_repeats": 1,
+        "periodic_shots_per_s": rate_per,
+        "speedup": rate_per / rate_lin,
+        "bit_identical": True,
+        "dem_equal": True,
+    }
+    print(
+        f"  d={distance} p={p:g} shots={shots} | linear {rate_lin:7.0f}/s "
+        f"(single run)  periodic {rate_per:7.0f}/s ({row['speedup']:.1f}x)"
+    )
+    return row
+
+
+def _assert_periodic(row: dict, target: float) -> None:
+    assert row["speedup"] >= target, (
+        f"periodic compilation only {row['speedup']:.2f}x over the linear "
+        f"pipeline at d={row['distance']} (target {target}x)"
+    )
+
+
 def _assert_biased(row: dict) -> None:
     # Degenerate-weight ties can flip a handful of shots either way; the
     # DEM-weighted matcher must stay at-or-below the baseline beyond that.
@@ -340,9 +483,16 @@ def test_packed_engine_speedup():
     print()
     row = packed_vs_unpacked()
     biased = biased_noise_point()
-    _write_output({"packed_vs_unpacked": row, "biased_d7": biased})
+    print("periodic round-compilation (d=7, p=1e-3):")
+    periodic = periodic_vs_linear()
+    _write_output({
+        "packed_vs_unpacked": row,
+        "biased_d7": biased,
+        "periodic_vs_linear": {"d7": periodic},
+    })
     _assert_speedups(row)
     _assert_biased(biased)
+    _assert_periodic(periodic, PERIODIC_SPEEDUP_TARGET)
 
 
 def main() -> None:
@@ -363,9 +513,27 @@ def main() -> None:
         biased = biased_noise_point(shots=1500, warm_shots=512)
     else:
         biased = biased_noise_point()
-    _write_output({"packed_vs_unpacked": row, "biased_d7": biased})
+    print("periodic round-compilation (d=7, p=1e-3):")
+    periodic_block = {"d7": periodic_vs_linear()}
+    if not args.quick:
+        print("periodic round-compilation (d=11, p=5e-4):")
+        periodic_block["d11"] = periodic_d11_point()
+    _write_output({
+        "packed_vs_unpacked": row,
+        "biased_d7": biased,
+        "periodic_vs_linear": periodic_block,
+    })
     _assert_speedups(row)
     _assert_biased(biased)
+    # Quick/CI runs gate on "periodic path active and never slower"; the
+    # full run holds the 2x end-to-end acceptance target and the d=11
+    # low-p point.
+    _assert_periodic(
+        periodic_block["d7"],
+        PERIODIC_QUICK_FLOOR if args.quick else PERIODIC_SPEEDUP_TARGET,
+    )
+    if not args.quick:
+        _assert_periodic(periodic_block["d11"], PERIODIC_SPEEDUP_TARGET)
     print(f"wrote {OUTPUT}")
 
 

@@ -40,8 +40,14 @@ from repro.analysis.passes import (
     verify_dem,
     verify_graph,
 )
-from repro.analysis import circuit_passes, dem_passes, registry_passes  # noqa: F401  (self-registration)
+from repro.analysis import (  # noqa: F401  (self-registration)
+    circuit_passes,
+    dem_passes,
+    periodic_passes,
+    registry_passes,
+)
 from repro.analysis.dem_passes import check_dem, check_graph
+from repro.analysis.periodic_passes import check_dem_periodicity
 from repro.analysis.source_lint import lint_file, lint_source
 
 __all__ = [
@@ -54,6 +60,7 @@ __all__ = [
     "VerificationError",
     "available_passes",
     "check_dem",
+    "check_dem_periodicity",
     "check_graph",
     "get_pass",
     "lint_file",

@@ -102,6 +102,7 @@ def _ensure_loaded() -> None:
     # The builtin passes self-register when their modules import.
     import repro.analysis.circuit_passes  # noqa: F401
     import repro.analysis.dem_passes  # noqa: F401
+    import repro.analysis.periodic_passes  # noqa: F401
     import repro.analysis.registry_passes  # noqa: F401
 
 

@@ -9,6 +9,11 @@ module provides the process-wide cache those sweeps share:
 * :func:`memoized` -- an ``lru_cache`` wrapper for pure functions whose
   arguments are hashable (frozen dataclasses, scalars).  Unhashable calls
   fall through to the raw function instead of raising.
+* :func:`register_cache` -- hook for hand-rolled caches (e.g. the
+  fingerprint-keyed compiled-program cache of :mod:`repro.sim.periodic`,
+  whose keys are derived rather than argument tuples) to join the same
+  stats/clearing machinery by exposing ``lru_cache``-style ``cache_info``
+  / ``cache_clear``.
 * :func:`cache_stats` -- per-function hit/miss/size counters, used by the
   sweep-engine tests and the benchmark runner.
 * :func:`clear_caches` -- reset every registered cache (cold-start timing).
@@ -84,6 +89,23 @@ def memoized(fn: F) -> F:
     name = f"{fn.__module__}.{fn.__qualname__}"
     _CACHES[name] = wrapper
     return wrapper  # type: ignore[return-value]
+
+
+def register_cache(name: str, cache: Any) -> None:
+    """Register a hand-rolled cache for :func:`cache_stats`/:func:`clear_caches`.
+
+    ``cache`` must expose ``lru_cache``-style ``cache_info()`` (an object
+    with ``hits``/``misses``/``currsize`` attributes) and ``cache_clear()``.
+    Used by caches whose keys are computed (content fingerprints) rather
+    than taken from hashable call arguments, which :func:`memoized` cannot
+    express.
+    """
+    if name in _CACHES:
+        raise ValueError(f"cache {name!r} is already registered")
+    for attr in ("cache_info", "cache_clear"):
+        if not callable(getattr(cache, attr, None)):
+            raise TypeError(f"cache {name!r} must provide {attr}()")
+    _CACHES[name] = cache
 
 
 def cache_stats() -> Dict[str, Tuple[int, int, int]]:

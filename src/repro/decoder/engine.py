@@ -153,8 +153,12 @@ def _worker_init(
     observable: Optional[int],
     packed: bool,
     sim: Optional[FrameSimulator] = None,
+    compile_mode: str = "auto",
 ) -> None:
-    _WORKER["sim"] = sim if sim is not None else FrameSimulator(circuit)
+    _WORKER["sim"] = (
+        sim if sim is not None
+        else FrameSimulator(circuit, compile_mode=compile_mode)
+    )
     _WORKER["decoder"] = decoder
     _WORKER["observable"] = observable
     _WORKER["packed"] = packed
@@ -225,6 +229,12 @@ class DecodingEngine:
             feeding :meth:`~repro.decoder.base.BatchDecoder.decode_packed`);
             ``False`` runs the byte-per-bit reference path.  Both produce
             bit-identical results for the same seed.
+        compile_mode: packed-program selection (``"auto"`` / ``"linear"``
+            / ``"periodic"``), forwarded to the simulators -- ``"auto"``
+            replays a detected repeated round periodically (see
+            :mod:`repro.sim.periodic`).  All modes are bit-identical per
+            seed; programs are memoized per circuit fingerprint, so
+            repeated engines and ``run_until`` batches never recompile.
 
     The engine keeps one persistent worker pool alive across ``run`` /
     ``run_until`` calls (spawning a pool ships the circuit and decoder to
@@ -244,6 +254,7 @@ class DecodingEngine:
         shard_shots: int = 1024,
         workers: int = 1,
         packed: bool = True,
+        compile_mode: str = "auto",
     ) -> None:
         if shard_shots < 1:
             raise ValueError("shard_shots must be >= 1")
@@ -254,10 +265,12 @@ class DecodingEngine:
         self.shard_shots = shard_shots
         self.workers = workers
         self.packed = packed
+        self.compile_mode = compile_mode
         self._pool = None
         # One simulator for serial execution and DEM extraction: its
-        # compiled program is built once and reused across run() calls.
-        self._sim = FrameSimulator(circuit)
+        # compiled program is fetched once (fingerprint-memoized) and
+        # reused across run() calls.
+        self._sim = FrameSimulator(circuit, compile_mode=compile_mode)
         if isinstance(decoder, str):
             # DEM extraction is the dominant setup cost; skip it entirely
             # when the caller hands over an already-built decoder.
@@ -396,7 +409,10 @@ class DecodingEngine:
             self._pool = multiprocessing.Pool(
                 self.workers,
                 initializer=_worker_init,
-                initargs=(self.circuit, self.decoder, self.observable, self.packed),
+                initargs=(
+                    self.circuit, self.decoder, self.observable, self.packed,
+                    None, self.compile_mode,
+                ),
             )
         return self._pool
 

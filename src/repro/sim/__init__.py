@@ -3,6 +3,13 @@
 from repro.sim.circuit import Circuit, Operation
 from repro.sim.compiled import CompiledProgram, transpose_packed
 from repro.sim.frame import DetectorErrorModel, ErrorMechanism, FrameSimulator
+from repro.sim.periodic import (
+    PeriodicProgram,
+    PeriodSpec,
+    circuit_fingerprint,
+    compile_program,
+    detect_period,
+)
 from repro.sim.memory import (
     MemoryExperimentBuilder,
     memory_circuit,
@@ -20,9 +27,14 @@ __all__ = [
     "FrameSimulator",
     "MemoryExperimentBuilder",
     "Operation",
+    "PeriodSpec",
+    "PeriodicProgram",
     "StateVector",
     "TableauSimulator",
     "ccz_state",
+    "circuit_fingerprint",
+    "compile_program",
+    "detect_period",
     "memory_circuit",
     "transpose_packed",
     "transversal_cnot_circuit",

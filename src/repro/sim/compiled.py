@@ -39,7 +39,8 @@ converts between the two layouts once per sample at the decoder boundary.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +49,7 @@ from repro.sim.ops import (
     CANONICAL_FRAME_GATE as _CANONICAL,
     DROPPED_BY_COMPILER as _DROPPED,
     FUSABLE as _FUSABLE,
+    NOISE as _NOISE,
     PAULI_1Q,
     PAULI_1Q_CODES,
     PAULI_2Q,
@@ -98,6 +100,136 @@ def _disjoint_pair_chunks(
     return chunks
 
 
+@dataclass
+class LoweredSegment:
+    """A slice of a circuit lowered to fused steps plus its record COO.
+
+    ``meas_count`` / ``det_count`` are the measurements and detectors the
+    slice itself emits; the COO arrays and ``M``/``MX`` record slots are
+    *absolute* (offset by the ``meas_start`` / ``det_start`` the slice was
+    lowered at), so a segment can be executed in place inside a larger
+    program -- the basis of :class:`repro.sim.periodic.PeriodicProgram`.
+    """
+
+    steps: List[tuple]
+    det_meas: np.ndarray
+    det_row: np.ndarray
+    obs_meas: np.ndarray
+    obs_row: np.ndarray
+    meas_count: int
+    det_count: int
+
+
+def lower_ops(ops, meas_start: int = 0, det_start: int = 0) -> LoweredSegment:
+    """Lower an op sequence to fused steps and sparse GF(2) record maps.
+
+    Fusion never crosses the sequence boundary (the buffer is flushed at
+    the end), so lowering a circuit in segments and executing them in
+    order is exactly equivalent to lowering it whole -- per-step payloads
+    may fuse differently across a cut, but the applied frame updates are
+    identical.
+    """
+    steps: List[tuple] = []
+    det_meas: List[int] = []  # COO: measurement record index ...
+    det_row: List[int] = []  # ... feeding this detector row
+    obs_meas: List[int] = []
+    obs_row: List[int] = []
+    meas_cursor = meas_start
+    det_cursor = det_start
+    pending_kind: str = ""
+    pending: List[tuple] = []  # buffered (targets, slot) runs to fuse
+
+    def flush() -> None:
+        nonlocal pending_kind, pending
+        if not pending:
+            return
+        kind = pending_kind
+        targets: List[int] = []
+        for op_targets, _ in pending:
+            targets.extend(op_targets)
+        if kind in ("H", "S"):
+            qs = _parity_reduced(targets)
+            if qs.size:
+                steps.append((kind, qs))
+        elif kind == "R":
+            steps.append(("R", _index_array(sorted(set(targets)))))
+        elif kind in ("CX", "CZ", "SWAP"):
+            pairs = list(zip(targets[0::2], targets[1::2]))
+            for first, second in _disjoint_pair_chunks(pairs):
+                steps.append((kind, first, second))
+        elif kind in ("M", "MX"):
+            # Consecutive measurements occupy contiguous record slots.
+            steps.append((kind, _index_array(targets), pending[0][1]))
+        pending_kind, pending = "", []
+
+    for op in ops:
+        name = _CANONICAL.get(op.name, op.name)
+        if name in _DROPPED:
+            continue
+        if name == "DETECTOR":
+            for rec in op.targets:
+                det_meas.append(rec)
+                det_row.append(det_cursor)
+            det_cursor += 1
+            continue
+        if name == "OBSERVABLE_INCLUDE":
+            index = int(op.arg)
+            for rec in op.targets:
+                obs_meas.append(rec)
+                obs_row.append(index)
+            continue
+        if name in ("X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1"):
+            flush()
+            qs = _index_array(op.targets)
+            unique = len(set(op.targets)) == len(op.targets)
+            steps.append((name, qs, float(op.arg), unique))
+            continue
+        if name == "PAULI_CHANNEL_1":
+            flush()
+            qs = _index_array(op.targets)
+            unique = len(set(op.targets)) == len(op.targets)
+            steps.append((name, qs, np.cumsum(np.asarray(op.args)), unique))
+            continue
+        if name == "DEPOLARIZE2":
+            flush()
+            firsts = _index_array(op.targets[0::2])
+            seconds = _index_array(op.targets[1::2])
+            unique = len(set(op.targets)) == len(op.targets)
+            steps.append((name, firsts, seconds, unique, float(op.arg)))
+            continue
+        if name == "PAULI_CHANNEL_2":
+            flush()
+            firsts = _index_array(op.targets[0::2])
+            seconds = _index_array(op.targets[1::2])
+            unique = len(set(op.targets)) == len(op.targets)
+            steps.append(
+                (name, firsts, seconds, unique, np.cumsum(np.asarray(op.args)))
+            )
+            continue
+        if name not in _FUSABLE:
+            # Same contract as FrameSimulator._apply: unsupported ops
+            # (non-Clifford gates) fail loudly, never sample wrong.
+            raise ValueError(f"frame simulator cannot run {name}")
+        # Fusable deterministic op: merge runs of the same kind.
+        if name != pending_kind:
+            flush()
+            pending_kind = name
+        pending.append((op.targets, meas_cursor))
+        if name in ("M", "MX"):
+            meas_cursor += len(op.targets)
+    flush()
+
+    return LoweredSegment(
+        steps=steps,
+        det_meas=_index_array(det_meas),
+        det_row=_index_array(det_row),
+        obs_meas=_index_array(obs_meas),
+        obs_row=_index_array(obs_row),
+        meas_count=meas_cursor - meas_start,
+        det_count=det_cursor - det_start,
+    )
+
+
 class CompiledProgram:
     """A circuit lowered to fused steps over bit-packed frame bitplanes.
 
@@ -111,109 +243,12 @@ class CompiledProgram:
         self.num_measurements = circuit.num_measurements
         self.num_detectors = circuit.num_detectors
         self.num_observables = circuit.num_observables
-        self.steps: List[tuple] = []
-        self._compile(circuit)
-
-    # -- compilation ---------------------------------------------------------
-
-    def _compile(self, circuit: Circuit) -> None:
-        det_meas: List[int] = []  # COO: measurement record index ...
-        det_row: List[int] = []  # ... feeding this detector row
-        obs_meas: List[int] = []
-        obs_row: List[int] = []
-        meas_cursor = 0
-        det_cursor = 0
-        pending_kind: str = ""
-        pending: List[tuple] = []  # buffered (targets, slot) runs to fuse
-
-        def flush() -> None:
-            nonlocal pending_kind, pending
-            if not pending:
-                return
-            kind = pending_kind
-            targets: List[int] = []
-            for op_targets, _ in pending:
-                targets.extend(op_targets)
-            if kind in ("H", "S"):
-                qs = _parity_reduced(targets)
-                if qs.size:
-                    self.steps.append((kind, qs))
-            elif kind == "R":
-                self.steps.append(("R", _index_array(sorted(set(targets)))))
-            elif kind in ("CX", "CZ", "SWAP"):
-                pairs = list(zip(targets[0::2], targets[1::2]))
-                for first, second in _disjoint_pair_chunks(pairs):
-                    self.steps.append((kind, first, second))
-            elif kind in ("M", "MX"):
-                # Consecutive measurements occupy contiguous record slots.
-                self.steps.append(
-                    (kind, _index_array(targets), pending[0][1])
-                )
-            pending_kind, pending = "", []
-
-        for op in circuit.operations:
-            name = _CANONICAL.get(op.name, op.name)
-            if name in _DROPPED:
-                continue
-            if name == "DETECTOR":
-                for rec in op.targets:
-                    det_meas.append(rec)
-                    det_row.append(det_cursor)
-                det_cursor += 1
-                continue
-            if name == "OBSERVABLE_INCLUDE":
-                index = int(op.arg)
-                for rec in op.targets:
-                    obs_meas.append(rec)
-                    obs_row.append(index)
-                continue
-            if name in ("X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1"):
-                flush()
-                qs = _index_array(op.targets)
-                unique = len(set(op.targets)) == len(op.targets)
-                self.steps.append((name, qs, float(op.arg), unique))
-                continue
-            if name == "PAULI_CHANNEL_1":
-                flush()
-                qs = _index_array(op.targets)
-                unique = len(set(op.targets)) == len(op.targets)
-                self.steps.append(
-                    (name, qs, np.cumsum(np.asarray(op.args)), unique)
-                )
-                continue
-            if name == "DEPOLARIZE2":
-                flush()
-                firsts = _index_array(op.targets[0::2])
-                seconds = _index_array(op.targets[1::2])
-                unique = len(set(op.targets)) == len(op.targets)
-                self.steps.append((name, firsts, seconds, unique, float(op.arg)))
-                continue
-            if name == "PAULI_CHANNEL_2":
-                flush()
-                firsts = _index_array(op.targets[0::2])
-                seconds = _index_array(op.targets[1::2])
-                unique = len(set(op.targets)) == len(op.targets)
-                self.steps.append(
-                    (name, firsts, seconds, unique, np.cumsum(np.asarray(op.args)))
-                )
-                continue
-            if name not in _FUSABLE:
-                # Same contract as FrameSimulator._apply: unsupported ops
-                # (non-Clifford gates) fail loudly, never sample wrong.
-                raise ValueError(f"frame simulator cannot run {name}")
-            # Fusable deterministic op: merge runs of the same kind.
-            if name != pending_kind:
-                flush()
-                pending_kind = name
-            pending.append((op.targets, meas_cursor))
-            if name in ("M", "MX"):
-                meas_cursor += len(op.targets)
-        flush()
-
-        self._det_meas = _index_array(det_meas)
-        self._det_row = _index_array(det_row)
-        self._obs_meas = _index_array(obs_meas)
-        self._obs_row = _index_array(obs_row)
+        segment = lower_ops(circuit.operations)
+        self.steps: List[tuple] = segment.steps
+        self._det_meas = segment.det_meas
+        self._det_row = segment.det_row
+        self._obs_meas = segment.obs_meas
+        self._obs_row = segment.obs_row
 
     # -- execution -----------------------------------------------------------
 
@@ -241,95 +276,10 @@ class CompiledProgram:
         xw = x[:, :words]
         zw = z[:, :words]
 
-        for step in self.steps:
-            kind = step[0]
-            if kind == "CX":
-                _, cs, ts = step
-                x64[ts] ^= x64[cs]
-                z64[cs] ^= z64[ts]
-            elif kind == "H":
-                qs = step[1]
-                tmp = x64[qs].copy()
-                x64[qs] = z64[qs]
-                z64[qs] = tmp
-            elif kind == "S":
-                qs = step[1]
-                z64[qs] ^= x64[qs]
-            elif kind == "CZ":
-                _, first, second = step
-                z64[first] ^= x64[second]
-                z64[second] ^= x64[first]
-            elif kind == "SWAP":
-                _, first, second = step
-                tmp = x64[first].copy()
-                x64[first] = x64[second]
-                x64[second] = tmp
-                tmp = z64[first].copy()
-                z64[first] = z64[second]
-                z64[second] = tmp
-            elif kind == "R":
-                qs = step[1]
-                x64[qs] = 0
-                z64[qs] = 0
-            elif kind == "M":
-                _, qs, slot = step
-                f64[slot : slot + qs.size] = x64[qs]
-            elif kind == "MX":
-                _, qs, slot = step
-                f64[slot : slot + qs.size] = z64[qs]
-            elif kind == "X_ERROR":
-                _, qs, p, unique = step
-                hit = rng.random((qs.size, shots)) < p
-                _xor_packed(xw, qs, np.packbits(hit, axis=1), unique)
-            elif kind == "Z_ERROR":
-                _, qs, p, unique = step
-                hit = rng.random((qs.size, shots)) < p
-                _xor_packed(zw, qs, np.packbits(hit, axis=1), unique)
-            elif kind == "Y_ERROR":
-                _, qs, p, unique = step
-                hit = rng.random((qs.size, shots)) < p
-                packed = np.packbits(hit, axis=1)
-                _xor_packed(xw, qs, packed, unique)
-                _xor_packed(zw, qs, packed, unique)
-            elif kind == "DEPOLARIZE1":
-                _, qs, p, unique = step
-                # [0, p) split in thirds X/Y/Z, same comparisons as the
-                # reference sampler on the same (targets, shots) draw.
-                draw = rng.random((qs.size, shots))
-                x_hit = draw < 2 * p / 3
-                z_hit = (draw >= p / 3) & (draw < p)
-                _xor_packed(xw, qs, np.packbits(x_hit, axis=1), unique)
-                _xor_packed(zw, qs, np.packbits(z_hit, axis=1), unique)
-            elif kind == "DEPOLARIZE2":
-                _, firsts, seconds, unique, p = step
-                if p > 0:
-                    code = depolarize2_codes(
-                        rng.random((firsts.size, shots)), p
-                    )
-                    # Code bits are the four flip planes; np.packbits
-                    # treats any nonzero byte as a set bit.
-                    _xor_packed(xw, firsts, np.packbits(code & 8, axis=1), unique)
-                    _xor_packed(zw, firsts, np.packbits(code & 4, axis=1), unique)
-                    _xor_packed(xw, seconds, np.packbits(code & 2, axis=1), unique)
-                    _xor_packed(zw, seconds, np.packbits(code & 1, axis=1), unique)
-            elif kind == "PAULI_CHANNEL_1":
-                _, qs, cum, unique = step
-                code = pauli_channel_codes(
-                    rng.random((qs.size, shots)), cum, PC1_CODE_TABLE
-                )
-                _xor_packed(xw, qs, np.packbits(code & 2, axis=1), unique)
-                _xor_packed(zw, qs, np.packbits(code & 1, axis=1), unique)
-            elif kind == "PAULI_CHANNEL_2":
-                _, firsts, seconds, unique, cum = step
-                code = pauli_channel_codes(
-                    rng.random((firsts.size, shots)), cum, PC2_CODE_TABLE
-                )
-                _xor_packed(xw, firsts, np.packbits(code & 8, axis=1), unique)
-                _xor_packed(zw, firsts, np.packbits(code & 4, axis=1), unique)
-                _xor_packed(xw, seconds, np.packbits(code & 2, axis=1), unique)
-                _xor_packed(zw, seconds, np.packbits(code & 1, axis=1), unique)
-            else:  # pragma: no cover - compile emits only the kinds above
-                raise ValueError(f"unknown compiled step kind {kind!r}")
+        # One direct rng.random dispatch per noise op, in op order -- the
+        # reference sampler's exact stream.
+        noise = sampling_noise(lambda targets: rng.random((targets, shots)))
+        execute_steps(self.steps, x64, z64, f64, xw, zw, noise)
 
         detectors = np.zeros((self.num_detectors, padded), dtype=np.uint8)
         observables = np.zeros((self.num_observables, padded), dtype=np.uint8)
@@ -340,6 +290,198 @@ class CompiledProgram:
         if self._obs_meas.size:
             np.bitwise_xor.at(observables, self._obs_row, flips[self._obs_meas])
         return detectors[:, :words], observables[:, :words]
+
+
+# -- step execution ------------------------------------------------------------
+
+# Step kinds that are stochastic channels (step[0] for every noise step is
+# the canonical op name, so the op table doubles as the step-kind table).
+_NOISE_KINDS = frozenset(_NOISE)
+
+# Kinds whose draw block is (len(step[1]), shots): single-qubit channels
+# index by target, pair channels by pair (step[1] = first qubits).
+_DRAWING_KINDS = (
+    "X_ERROR",
+    "Z_ERROR",
+    "Y_ERROR",
+    "DEPOLARIZE1",
+    "PAULI_CHANNEL_1",
+    "PAULI_CHANNEL_2",
+)
+
+NoiseHandler = Callable[[tuple, np.ndarray, np.ndarray], None]
+
+
+def execute_steps(
+    steps: Sequence[tuple],
+    x64: np.ndarray,
+    z64: np.ndarray,
+    f64: np.ndarray,
+    xw: np.ndarray,
+    zw: np.ndarray,
+    noise: NoiseHandler,
+    slot_offset: int = 0,
+) -> None:
+    """Interpret fused steps over packed planes with pluggable noise.
+
+    Deterministic steps update the uint64 word views in place; each noise
+    step is delegated to ``noise(step, xw, zw)`` -- a sampling handler
+    drawing uniforms (:func:`sampling_noise`) or a deterministic injector
+    (:func:`injection_noise`, for DEM mechanism propagation).
+
+    ``slot_offset`` shifts every measurement record slot, which is how a
+    periodic program replays one lowered round body into successive
+    record windows of the same ``flips`` plane.
+    """
+    for step in steps:
+        kind = step[0]
+        if kind == "CX":
+            _, cs, ts = step
+            x64[ts] ^= x64[cs]
+            z64[cs] ^= z64[ts]
+        elif kind == "H":
+            qs = step[1]
+            tmp = x64[qs].copy()
+            x64[qs] = z64[qs]
+            z64[qs] = tmp
+        elif kind == "S":
+            qs = step[1]
+            z64[qs] ^= x64[qs]
+        elif kind == "CZ":
+            _, first, second = step
+            z64[first] ^= x64[second]
+            z64[second] ^= x64[first]
+        elif kind == "SWAP":
+            _, first, second = step
+            tmp = x64[first].copy()
+            x64[first] = x64[second]
+            x64[second] = tmp
+            tmp = z64[first].copy()
+            z64[first] = z64[second]
+            z64[second] = tmp
+        elif kind == "R":
+            qs = step[1]
+            x64[qs] = 0
+            z64[qs] = 0
+        elif kind == "M":
+            _, qs, slot = step
+            slot += slot_offset
+            f64[slot : slot + qs.size] = x64[qs]
+        elif kind == "MX":
+            _, qs, slot = step
+            slot += slot_offset
+            f64[slot : slot + qs.size] = z64[qs]
+        elif kind in _NOISE_KINDS:
+            noise(step, xw, zw)
+        else:  # pragma: no cover - compile emits only the kinds above
+            raise ValueError(f"unknown compiled step kind {kind!r}")
+
+
+def sampling_noise(draw: Callable[[int], np.ndarray]) -> NoiseHandler:
+    """Noise handler applying channels from a uniform-draw source.
+
+    ``draw(targets)`` must return a ``(targets, shots)`` float64 block of
+    uniforms.  The handler consumes exactly one block per noise step, in
+    step order, with the same shapes and comparisons as the reference
+    sampler -- the draw source controls only *where* the uniforms come
+    from (a direct ``rng.random`` dispatch, or a slice of a fused
+    pre-drawn buffer), never their order or values, which is what keeps
+    every execution path bit-identical per seed.
+    """
+
+    def apply(step: tuple, xw: np.ndarray, zw: np.ndarray) -> None:
+        kind = step[0]
+        if kind == "X_ERROR":
+            _, qs, p, unique = step
+            hit = draw(qs.size) < p
+            _xor_packed(xw, qs, np.packbits(hit, axis=1), unique)
+        elif kind == "Z_ERROR":
+            _, qs, p, unique = step
+            hit = draw(qs.size) < p
+            _xor_packed(zw, qs, np.packbits(hit, axis=1), unique)
+        elif kind == "Y_ERROR":
+            _, qs, p, unique = step
+            hit = draw(qs.size) < p
+            packed = np.packbits(hit, axis=1)
+            _xor_packed(xw, qs, packed, unique)
+            _xor_packed(zw, qs, packed, unique)
+        elif kind == "DEPOLARIZE1":
+            _, qs, p, unique = step
+            # [0, p) split in thirds X/Y/Z, same comparisons as the
+            # reference sampler on the same (targets, shots) draw.
+            block = draw(qs.size)
+            x_hit = block < 2 * p / 3
+            z_hit = (block >= p / 3) & (block < p)
+            _xor_packed(xw, qs, np.packbits(x_hit, axis=1), unique)
+            _xor_packed(zw, qs, np.packbits(z_hit, axis=1), unique)
+        elif kind == "DEPOLARIZE2":
+            _, firsts, seconds, unique, p = step
+            if p > 0:
+                code = depolarize2_codes(draw(firsts.size), p)
+                # Code bits are the four flip planes; np.packbits
+                # treats any nonzero byte as a set bit.
+                _xor_packed(xw, firsts, np.packbits(code & 8, axis=1), unique)
+                _xor_packed(zw, firsts, np.packbits(code & 4, axis=1), unique)
+                _xor_packed(xw, seconds, np.packbits(code & 2, axis=1), unique)
+                _xor_packed(zw, seconds, np.packbits(code & 1, axis=1), unique)
+        elif kind == "PAULI_CHANNEL_1":
+            _, qs, cum, unique = step
+            code = pauli_channel_codes(draw(qs.size), cum, PC1_CODE_TABLE)
+            _xor_packed(xw, qs, np.packbits(code & 2, axis=1), unique)
+            _xor_packed(zw, qs, np.packbits(code & 1, axis=1), unique)
+        elif kind == "PAULI_CHANNEL_2":
+            _, firsts, seconds, unique, cum = step
+            code = pauli_channel_codes(draw(firsts.size), cum, PC2_CODE_TABLE)
+            _xor_packed(xw, firsts, np.packbits(code & 8, axis=1), unique)
+            _xor_packed(zw, firsts, np.packbits(code & 4, axis=1), unique)
+            _xor_packed(xw, seconds, np.packbits(code & 2, axis=1), unique)
+            _xor_packed(zw, seconds, np.packbits(code & 1, axis=1), unique)
+        else:  # pragma: no cover - execute_steps routes only noise kinds
+            raise ValueError(f"unknown noise step kind {step[0]!r}")
+
+    return apply
+
+
+def injection_noise(
+    injections: Iterable[Tuple[np.ndarray, ...]]
+) -> NoiseHandler:
+    """Noise handler XORing precomputed deterministic flips, one per step.
+
+    Each injection is ``(x_rows, x_bytes, x_masks, z_rows, z_bytes, z_masks)``
+    scattering single bits into the packed X/Z planes.  DEM extraction
+    uses this to propagate every error mechanism as one packed bit
+    *column*: the deterministic steps conjugate all mechanisms at once
+    and each noise step, instead of drawing, plants its mechanisms' Pauli
+    flips at the channel's circuit position.
+    """
+    iterator = iter(injections)
+
+    def apply(step: tuple, xw: np.ndarray, zw: np.ndarray) -> None:
+        x_rows, x_bytes, x_masks, z_rows, z_bytes, z_masks = next(iterator)
+        if x_rows.size:
+            np.bitwise_xor.at(xw, (x_rows, x_bytes), x_masks)
+        if z_rows.size:
+            np.bitwise_xor.at(zw, (z_rows, z_bytes), z_masks)
+
+    return apply
+
+
+def draw_count(steps: Sequence[tuple], shots: int) -> int:
+    """Uniform doubles :func:`sampling_noise` consumes over these steps.
+
+    Mirrors the handler's dispatch exactly, including the ``DEPOLARIZE2``
+    ``p > 0`` guard (a zero-probability channel draws nothing); the fused
+    pre-draw of a periodic program sizes its buffers with this.
+    """
+    total = 0
+    for step in steps:
+        kind = step[0]
+        if kind in _DRAWING_KINDS:
+            total += step[1].size * shots
+        elif kind == "DEPOLARIZE2":
+            if step[4] > 0:
+                total += step[1].size * shots
+    return total
 
 
 def _xor_packed(

@@ -28,7 +28,6 @@ from repro.sim.circuit import Circuit
 from repro.sim.compiled import (
     PC1_CODE_TABLE,
     PC2_CODE_TABLE,
-    CompiledProgram,
     depolarize2_codes,
     pauli_channel_codes,
     transpose_packed,
@@ -37,19 +36,42 @@ from repro.sim.ops import NOISE_MARKERS
 
 
 class FrameSimulator:
-    """Vectorized Pauli-frame propagation over many shots."""
+    """Vectorized Pauli-frame propagation over many shots.
 
-    def __init__(self, circuit: Circuit, rng: Optional[np.random.Generator] = None) -> None:
+    Args:
+        circuit: the circuit to sample.
+        rng: default noise generator for sampling calls without one.
+        compile_mode: packed-program selection passed through to
+            :func:`repro.sim.periodic.compile_program` -- ``"auto"``
+            (default) replays a detected repeated round periodically,
+            ``"linear"`` / ``"periodic"`` force a path.  Every mode
+            samples bit-identically per seed.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        rng: Optional[np.random.Generator] = None,
+        compile_mode: str = "auto",
+    ) -> None:
         self.circuit = circuit
         self.num_qubits = circuit.num_qubits
+        self.compile_mode = compile_mode
         self._rng = rng if rng is not None else np.random.default_rng()
-        self._compiled: Optional[CompiledProgram] = None
+        self._compiled = None
 
     @property
-    def compiled(self) -> CompiledProgram:
-        """The circuit's compiled bit-packed program (built lazily, once)."""
+    def compiled(self):
+        """The circuit's packed program (fingerprint-memoized, fetched once).
+
+        A :class:`~repro.sim.periodic.PeriodicProgram` when the circuit
+        has a detected repeated round (and the mode allows it), else the
+        linear :class:`~repro.sim.compiled.CompiledProgram`.
+        """
         if self._compiled is None:
-            self._compiled = CompiledProgram(self.circuit)
+            from repro.sim.periodic import compile_program
+
+            self._compiled = compile_program(self.circuit, mode=self.compile_mode)
         return self._compiled
 
     # -- sampling --------------------------------------------------------------

@@ -1,0 +1,424 @@
+"""Periodic round-compilation: compile one SE round, replay it r times.
+
+A d-distance, r-round memory experiment is one syndrome-extraction round
+replayed r times, yet the linear compiler (:mod:`repro.sim.compiled`)
+lowers all r copies and dispatches every noise op's RNG block separately,
+so compile time and RNG dispatch overhead scale O(rounds) when the
+underlying structure is O(1).  This module exploits the periodicity:
+
+* :func:`detect_period` finds the longest repeated op-stream window --
+  the same op sequence where the only change per repetition is a constant
+  shift of every measurement-record reference (qubit indices and gate
+  structure must match exactly).  Memory experiments match with the round
+  body = one SE round; random circuits, transversal gadgets and r=1 runs
+  fall back to the linear :class:`~repro.sim.compiled.CompiledProgram`.
+* :class:`PeriodicProgram` lowers {prologue, round body, epilogue} once
+  and replays the body r times over the same bit-packed planes, rebasing
+  the body's measurement slots and sparse GF(2) detector/observable COO
+  per replay by (r_index * measurements_per_round, r_index *
+  detectors_per_round) instead of materializing r lowered copies.
+* **RNG draw-order contract**: noise draws are *fused* -- one
+  ``rng.random(count)`` dispatch covers many noise steps (up to
+  :data:`DRAW_CHUNK_DOUBLES` uniforms), and the steps consume consecutive
+  slices.  Because numpy's ``Generator.random`` fills a buffer from the
+  same bit stream element by element, splitting one fused dispatch into
+  per-op slices yields exactly the values the linear compiler's per-op
+  dispatches produce, in the same order: the permutation of stream
+  positions is the *identity*, and ``sample_packed`` stays bit-identical
+  per seed (property-tested in ``tests/test_sim_periodic.py``).
+* :func:`compile_program` picks the periodic path automatically and
+  memoizes both program kinds per circuit fingerprint (registered with
+  :func:`repro.core.cache.register_cache`), so the decoding engine's
+  repeated ``run_until`` batches and repeated engines over the same
+  circuit stop recompiling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter, namedtuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.cache import register_cache
+from repro.sim.circuit import Circuit
+from repro.sim.compiled import (
+    CompiledProgram,
+    draw_count,
+    execute_steps,
+    lower_ops,
+    sampling_noise,
+)
+from repro.sim.ops import MEASUREMENTS
+
+# Ops whose targets are measurement-record indices (and therefore shift
+# by the per-round measurement count between replays).
+_RECORD_OPS = ("DETECTOR", "OBSERVABLE_INCLUDE")
+
+# Upper bound on uniforms pre-drawn per fused RNG dispatch (~32 MB of
+# float64).  Bounds peak memory; the replay loop re-fills the buffer as
+# many times as needed.  Tests shrink it to force multi-chunk replays.
+DRAW_CHUNK_DOUBLES = 4 * 1024 * 1024
+
+# How many period candidates (distinct token-recurrence gaps) to scan.
+_CANDIDATE_GAPS = 5
+
+
+@dataclass(frozen=True)
+class PeriodSpec:
+    """A detected repetition window ``ops[start : start + length * reps]``.
+
+    Within the window, repetition ``j`` equals repetition ``0`` except
+    that every measurement-record reference is shifted by
+    ``j * meas_per_rep``.  ``meas_start`` / ``det_start`` count the
+    measurements and detectors emitted before the window.
+    """
+
+    start: int
+    length: int
+    reps: int
+    meas_per_rep: int
+    det_per_rep: int
+    meas_start: int
+    det_start: int
+
+    @property
+    def savings(self) -> int:
+        """Ops the periodic lowering avoids re-lowering."""
+        return (self.reps - 1) * self.length
+
+
+def detect_period(circuit: Circuit) -> Optional[PeriodSpec]:
+    """Find the best repeated round in a circuit's op stream, if any.
+
+    Two ops match at stride L when they are equal except that
+    DETECTOR / OBSERVABLE_INCLUDE record targets are shifted by exactly
+    the number of measurements between the two positions.  Candidate
+    strides are the most common recurrence gaps of identical op tokens;
+    for each, one scan finds the longest run of matching positions.
+    Returns the spec with the largest savings, or ``None`` when nothing
+    repeats (non-memory circuits, single-round experiments).
+    """
+    ops = circuit.operations
+    n = len(ops)
+    if n < 2:
+        return None
+
+    # Token per op: record ops tokenize without their targets (those are
+    # expected to shift); everything else must match exactly.
+    tokens: List[tuple] = []
+    for op in ops:
+        if op.name in _RECORD_OPS:
+            tokens.append((op.name, op.arg, len(op.targets)))
+        else:
+            tokens.append((op.name, op.arg, op.args, op.targets))
+
+    meas_prefix = [0]
+    det_prefix = [0]
+    for op in ops:
+        is_meas = op.name in MEASUREMENTS
+        meas_prefix.append(meas_prefix[-1] + (len(op.targets) if is_meas else 0))
+        det_prefix.append(det_prefix[-1] + (1 if op.name == "DETECTOR" else 0))
+
+    # Candidate strides: gaps at which identical tokens recur most often.
+    last_seen: Dict[tuple, int] = {}
+    gaps: Counter = Counter()
+    for i, token in enumerate(tokens):
+        previous = last_seen.get(token)
+        if previous is not None:
+            gaps[i - previous] += 1
+        last_seen[token] = i
+
+    def matches(i: int, stride: int) -> bool:
+        if tokens[i] != tokens[i + stride]:
+            return False
+        a, b = ops[i], ops[i + stride]
+        if a.name in _RECORD_OPS:
+            delta = meas_prefix[i + stride] - meas_prefix[i]
+            return all(tb == ta + delta for ta, tb in zip(a.targets, b.targets))
+        return True
+
+    best: Optional[PeriodSpec] = None
+    for stride, _ in gaps.most_common(_CANDIDATE_GAPS):
+        if 2 * stride > n:
+            continue
+        i = 0
+        while i < n - stride:
+            if not matches(i, stride):
+                i += 1
+                continue
+            run_start = i
+            while i < n - stride and matches(i, stride):
+                i += 1
+            # A run of m matching positions covers m + stride ops, i.e.
+            # 1 + m // stride full repetitions of the stride window.
+            reps = (i - run_start) // stride + 1
+            if reps >= 2:
+                spec = PeriodSpec(
+                    start=run_start,
+                    length=stride,
+                    reps=reps,
+                    meas_per_rep=(
+                        meas_prefix[run_start + stride] - meas_prefix[run_start]
+                    ),
+                    det_per_rep=(
+                        det_prefix[run_start + stride] - det_prefix[run_start]
+                    ),
+                    meas_start=meas_prefix[run_start],
+                    det_start=det_prefix[run_start],
+                )
+                if best is None or spec.savings > best.savings:
+                    best = spec
+            i += 1
+    return best
+
+
+class _FusedDraws:
+    """Sequential slice server over fused ``rng.random`` dispatches.
+
+    ``load(count)`` draws ``count`` uniforms in one dispatch; calls then
+    hand out consecutive ``(targets, shots)`` views.  ``Generator.random``
+    consumes its bit stream element by element, so the fused buffer holds
+    exactly the values the equivalent per-op dispatches would return, in
+    the same order -- slicing it is a pure no-op on the stream.
+    """
+
+    def __init__(self, rng: np.random.Generator, shots: int) -> None:
+        self._rng = rng
+        self._shots = shots
+        self._buffer: Optional[np.ndarray] = None
+        self._position = 0
+
+    def load(self, count: int) -> None:
+        self._buffer = self._rng.random(count) if count else None
+        self._position = 0
+
+    def __call__(self, targets: int) -> np.ndarray:
+        size = targets * self._shots
+        if size == 0:
+            return np.empty((targets, self._shots))
+        view = self._buffer[self._position : self._position + size]
+        self._position += size
+        return view.reshape(targets, self._shots)
+
+
+class PeriodicProgram:
+    """{prologue, round body x reps, epilogue} over bit-packed planes.
+
+    The round body is lowered once; :meth:`run_packed` executes it
+    ``reps`` times with per-replay measurement-slot offsets and rebases
+    its detector/observable COO per replay.  Noise draws are fused across
+    steps and replays (see the module docstring for the stream contract).
+    Public surface mirrors :class:`~repro.sim.compiled.CompiledProgram`.
+    """
+
+    def __init__(self, circuit: Circuit, spec: Optional[PeriodSpec] = None) -> None:
+        if spec is None:
+            spec = detect_period(circuit)
+        if spec is None:
+            raise ValueError(
+                "circuit has no repeated round; use CompiledProgram instead"
+            )
+        self.num_qubits = circuit.num_qubits
+        self.num_measurements = circuit.num_measurements
+        self.num_detectors = circuit.num_detectors
+        self.num_observables = circuit.num_observables
+        self.spec = spec
+        ops = circuit.operations
+        start, length, reps = spec.start, spec.length, spec.reps
+        self._prologue = lower_ops(ops[:start])
+        self._body = lower_ops(
+            ops[start : start + length], spec.meas_start, spec.det_start
+        )
+        self._epilogue = lower_ops(
+            ops[start + reps * length :],
+            spec.meas_start + reps * spec.meas_per_rep,
+            spec.det_start + reps * spec.det_per_rep,
+        )
+        if (
+            self._prologue.meas_count != spec.meas_start
+            or self._body.meas_count != spec.meas_per_rep
+            or self._body.det_count != spec.det_per_rep
+        ):  # pragma: no cover - detect_period guarantees consistency
+            raise ValueError("periodic lowering disagrees with detected spec")
+
+    def run_packed(
+        self, shots: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample ``shots`` noisy shots; see ``CompiledProgram.run_packed``.
+
+        Bit-identical per seed to the linear program's output: the fused
+        draws preserve stream order exactly, and replaying the body with
+        offset record bases applies the same updates the linear steps
+        encode explicitly.
+        """
+        if shots < 0:
+            raise ValueError("shots must be >= 0")
+        words = (shots + 7) // 8
+        padded = 8 * ((words + 7) // 8)  # rows double as uint64 word views
+        x = np.zeros((self.num_qubits, padded), dtype=np.uint8)
+        z = np.zeros((self.num_qubits, padded), dtype=np.uint8)
+        flips = np.zeros((self.num_measurements, padded), dtype=np.uint8)
+        x64 = x.view(np.uint64)
+        z64 = z.view(np.uint64)
+        f64 = flips.view(np.uint64)
+        xw = x[:, :words]
+        zw = z[:, :words]
+
+        draws = _FusedDraws(rng, shots)
+        noise = sampling_noise(draws)
+        spec = self.spec
+        reps = spec.reps
+        meas_per_rep = spec.meas_per_rep
+
+        draws.load(draw_count(self._prologue.steps, shots))
+        execute_steps(self._prologue.steps, x64, z64, f64, xw, zw, noise)
+
+        per_rep = draw_count(self._body.steps, shots)
+        reps_per_chunk = (
+            reps if per_rep == 0 else max(1, DRAW_CHUNK_DOUBLES // per_rep)
+        )
+        rep = 0
+        while rep < reps:
+            batch = min(reps_per_chunk, reps - rep)
+            draws.load(batch * per_rep)
+            for j in range(rep, rep + batch):
+                execute_steps(
+                    self._body.steps, x64, z64, f64, xw, zw, noise,
+                    slot_offset=j * meas_per_rep,
+                )
+            rep += batch
+
+        draws.load(draw_count(self._epilogue.steps, shots))
+        execute_steps(self._epilogue.steps, x64, z64, f64, xw, zw, noise)
+
+        detectors = np.zeros((self.num_detectors, padded), dtype=np.uint8)
+        observables = np.zeros((self.num_observables, padded), dtype=np.uint8)
+        self._scatter_records(detectors, observables, flips)
+        return detectors[:, :words], observables[:, :words]
+
+    def _scatter_records(
+        self, detectors: np.ndarray, observables: np.ndarray, flips: np.ndarray
+    ) -> None:
+        """XOR-reduce measurement flips into detector/observable rows.
+
+        The body's COO is stored once for replay 0; replaying rebases it
+        by broadcasting the per-replay (measurement, detector) offsets --
+        observable rows are global and never shift.
+        """
+        spec = self.spec
+        reps = spec.reps
+        offsets = np.arange(reps, dtype=np.intp)[:, None]
+        for segment in (self._prologue, self._epilogue):
+            if segment.det_meas.size:
+                np.bitwise_xor.at(
+                    detectors, segment.det_row, flips[segment.det_meas]
+                )
+            if segment.obs_meas.size:
+                np.bitwise_xor.at(
+                    observables, segment.obs_row, flips[segment.obs_meas]
+                )
+        body = self._body
+        if body.det_meas.size:
+            rows = (body.det_row[None, :] + spec.det_per_rep * offsets).ravel()
+            meas = (body.det_meas[None, :] + spec.meas_per_rep * offsets).ravel()
+            np.bitwise_xor.at(detectors, rows, flips[meas])
+        if body.obs_meas.size:
+            rows = np.tile(body.obs_row, reps)
+            meas = (body.obs_meas[None, :] + spec.meas_per_rep * offsets).ravel()
+            np.bitwise_xor.at(observables, rows, flips[meas])
+
+
+Program = Union[CompiledProgram, PeriodicProgram]
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Content hash of a circuit's op stream (the program-cache key).
+
+    Two circuits with equal fingerprints lower to identical programs:
+    the hash covers every op's name, targets and probability arguments
+    (float ``repr`` is exact round-trip in Python 3).
+    """
+    digest = hashlib.sha256()
+    for op in circuit.operations:
+        digest.update(repr((op.name, op.targets, op.arg, op.args)).encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+_CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+
+class _ProgramCache:
+    """Fingerprint-keyed program store with ``lru_cache``-style counters.
+
+    Keys are content hashes rather than argument identities, so equal
+    circuits built independently (e.g. every ``run_until`` batch, every
+    engine over the same experiment) share one compiled program.
+    Programs are immutable after compilation, safe to share.  Registered
+    with :func:`repro.core.cache.register_cache` so the repo-wide
+    ``cache_stats()`` / ``clear_caches()`` cover it.
+    """
+
+    def __init__(self) -> None:
+        self._programs: Dict[Tuple[str, str], Program] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, circuit: Circuit, mode: str) -> Program:
+        key = (circuit_fingerprint(circuit), mode)
+        program = self._programs.get(key)
+        if program is not None:
+            self._hits += 1
+            return program
+        self._misses += 1
+        program = _compile_uncached(circuit, mode)
+        self._programs[key] = program
+        return program
+
+    def cache_info(self) -> "_CacheInfo":
+        return _CacheInfo(self._hits, self._misses, None, len(self._programs))
+
+    def cache_clear(self) -> None:
+        self._programs.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+_PROGRAM_CACHE = _ProgramCache()
+register_cache("repro.sim.periodic.compile_program", _PROGRAM_CACHE)
+
+
+def _compile_uncached(circuit: Circuit, mode: str) -> Program:
+    if mode == "linear":
+        return CompiledProgram(circuit)
+    spec = detect_period(circuit)
+    if spec is not None:
+        return PeriodicProgram(circuit, spec)
+    if mode == "periodic":
+        raise ValueError(
+            "compile mode 'periodic' requires a repeated round, but "
+            "detect_period found none"
+        )
+    return CompiledProgram(circuit)
+
+
+def compile_program(circuit: Circuit, mode: str = "auto") -> Program:
+    """Compile a circuit to its packed program, memoized by fingerprint.
+
+    Args:
+        circuit: the circuit to lower.
+        mode: ``"auto"`` picks :class:`PeriodicProgram` when a period is
+            detected and falls back to the linear
+            :class:`~repro.sim.compiled.CompiledProgram` otherwise;
+            ``"linear"`` / ``"periodic"`` force a path (``"periodic"``
+            raises when the circuit has no repeated round).
+
+    All modes produce programs whose ``run_packed`` output is
+    bit-identical per seed.
+    """
+    if mode not in ("auto", "linear", "periodic"):
+        raise ValueError(f"unknown compile mode {mode!r}")
+    return _PROGRAM_CACHE.get(circuit, mode)
