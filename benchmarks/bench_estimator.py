@@ -33,6 +33,7 @@ import time
 from pathlib import Path
 
 from repro.core.cache import caching_disabled, clear_caches, code_version
+from repro.obs import run_metadata
 from repro.estimator.registry import available_scenarios, run_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -87,7 +88,9 @@ def run_benchmarks() -> dict:
 def test_estimator_bench():
     """Pytest entry point: the sweep scenarios must gain >= 3x from caching."""
     results = run_benchmarks()
-    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    OUTPUT.write_text(
+        json.dumps({**results, "meta": run_metadata()}, indent=2) + "\n"
+    )
     print()
     for name, row in results.items():
         print(

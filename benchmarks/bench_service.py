@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 
 from repro.core.cache import clear_caches, code_version
+from repro.obs import run_metadata
 from repro.estimator.serialize import dumps_results
 from repro.service.jobs import JobEngine
 from repro.service.store import ResultStore
@@ -123,7 +124,9 @@ def run_benchmarks() -> dict:
 def test_service_bench():
     """Pytest entry point: warm >= 5x, 8-way burst computes exactly once."""
     results = run_benchmarks()
-    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    OUTPUT.write_text(
+        json.dumps({**results, "meta": run_metadata()}, indent=2) + "\n"
+    )
     print()
     print(
         f"  {SCENARIO}: cold {results['cold_s'] * 1e3:7.2f} ms"

@@ -14,6 +14,8 @@ Usage:
     python -m repro fig13 --param target_error=1e-11
     python -m repro serve --port 8000 # HTTP estimation service
     python -m repro lint --all        # diagnostics over every scenario
+    python -m repro metrics fig11     # run a scenario, dump Prometheus text
+    python -m repro --trace out.json fig11  # Chrome trace + span tree
 
 With ``REPRO_STORE_DIR`` set (or ``--store-dir`` given), results are
 warm-started from -- and persisted to -- the on-disk result store shared
@@ -81,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="warm-start from (and persist to) the on-disk result store "
         "at DIR; defaults to $REPRO_STORE_DIR when that is set",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record spans to a Chrome trace-event JSON at PATH "
+        "(viewable in Perfetto) and print a span tree to stderr",
     )
     return parser
 
@@ -168,6 +177,10 @@ def main(argv: List[str]) -> None:
         from repro.analysis.lint import lint_main
 
         sys.exit(lint_main(argv[1:]))
+    if argv and argv[0] == "metrics":
+        from repro.obs.cli import metrics_main
+
+        sys.exit(metrics_main(argv[1:]))
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -184,6 +197,11 @@ def main(argv: List[str]) -> None:
     _validate_params(sections, params, parser)
     banners = bool(args.sections) and "all" in args.sections and not args.json
     store = _open_store(args.store_dir)
+
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing(args.trace)
 
     results = []
     for name in sections:
@@ -205,6 +223,12 @@ def main(argv: List[str]) -> None:
 
     if args.json:
         print(dumps_results(results))
+
+    if args.trace:
+        from repro.obs import render_trace_tree, write_trace
+
+        write_trace(args.trace)
+        print(render_trace_tree(), file=sys.stderr)
 
 
 if __name__ == "__main__":

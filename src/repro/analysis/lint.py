@@ -23,6 +23,7 @@ from typing import List
 
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
 from repro.analysis.passes import PassContext, available_passes, run_passes
+from repro.obs.logs import echo
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,9 +111,9 @@ def lint_main(argv: List[str]) -> int:
     report = DiagnosticReport(tuple(diagnostics))
     shown = report.at_least(args.fail_on) if args.quiet else report.diagnostics
     for diagnostic in shown:
-        print(diagnostic.render())
+        echo(diagnostic.render())
     gating = report.at_least(args.fail_on)
-    print(
+    echo(
         f"lint: {len(names)} scenario(s), "
         f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
         + (" [source lint included]" if args.source else "")

@@ -17,6 +17,13 @@ invisible to tests that pass by luck:
   written from a function that runs inside a pool worker (a ``global``
   rebind, or mutation of a module-level dict/list) is at best lost on the
   worker and at worst a fork-inherited heisenbug.
+* **Bare ``print()`` in library code** -- library modules must route
+  diagnostics through :func:`repro.obs.get_logger` and intentional CLI
+  output through :func:`repro.obs.echo`; a stray ``print`` in a hot path
+  or a pool worker interleaves garbage into stdout that service clients
+  and ``--json`` consumers parse.  CLI entry points (``__main__.py``) are
+  exempt, as are files outside ``src/repro`` (benchmarks, examples,
+  tests).
 
 The linter is intentionally static and conservative: it walks each file's
 AST, identifies worker functions as those passed to
@@ -53,6 +60,10 @@ _POOL_DISPATCH = frozenset({
 # Module-level mutable names a worker function is allowed to touch: the
 # per-process worker state installed by the pool initializer.
 DEFAULT_WORKER_STATE = ("_WORKER",)
+
+# File names exempt from the print ban: CLI entry points whose stdout IS
+# the product.  Library modules use repro.obs.echo / get_logger instead.
+PRINT_EXEMPT_FILES = frozenset({"__main__.py"})
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -234,6 +245,24 @@ class _FileLinter:
                                 f"may be written from a worker",
                             )
 
+    # -- rule 3: bare print() in library code --------------------------------
+
+    def _lint_prints(self) -> Iterator[Diagnostic]:
+        if self.path.name in PRINT_EXEMPT_FILES:
+            return
+        for node in ast.walk(self.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self._diag(
+                    "error", node,
+                    "bare print() in library code: route intentional CLI "
+                    "output through repro.obs.echo and diagnostics through "
+                    "repro.obs.get_logger",
+                )
+
     def _diag(self, severity: str, node: ast.AST, message: str) -> Diagnostic:
         line = getattr(node, "lineno", 0)
         return Diagnostic(
@@ -241,7 +270,11 @@ class _FileLinter:
         )
 
     def lint(self) -> List[Diagnostic]:
-        return list(self._lint_rng()) + list(self._lint_worker_state())
+        return (
+            list(self._lint_rng())
+            + list(self._lint_worker_state())
+            + list(self._lint_prints())
+        )
 
 
 def lint_file(

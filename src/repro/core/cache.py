@@ -15,7 +15,11 @@ module provides the process-wide cache those sweeps share:
   stats/clearing machinery by exposing ``lru_cache``-style ``cache_info``
   / ``cache_clear``.
 * :func:`cache_stats` -- per-function hit/miss/size counters, used by the
-  sweep-engine tests and the benchmark runner.
+  sweep-engine tests and the benchmark runner.  The same counters are
+  exported as ``repro_cache_{hits,misses,entries}{cache=...}`` gauges by
+  a scrape-time collector that :mod:`repro.obs` registers (obs depends on
+  this module, never the reverse); ``cache_stats()`` remains the stable
+  programmatic API.
 * :func:`clear_caches` -- reset every registered cache (cold-start timing).
 * :func:`caching_disabled` -- context manager bypassing every cache, for
   honest cached-vs-uncached A/B measurements.

@@ -27,9 +27,40 @@ its subset-DP matcher this way).
 
 from __future__ import annotations
 
+import time
 from typing import Protocol, runtime_checkable
 
 import numpy as np
+
+from repro.obs import metrics as _metrics
+
+# One observation per *batch* (not per shot), so the recording cost is
+# amortized over shard_shots decodes; `repro_decode_seconds` percentiles
+# are the measured latency input for ROADMAP item 2's ReactionTiming.
+# The shots/unique pair is the dedup ratio; batch-unique counts are
+# deterministic per (seed, shard_shots) and so extend the worker-count
+# invariance contract to telemetry.
+_DECODE_SECONDS = _metrics.histogram(
+    "repro_decode_seconds",
+    "Batch decode latency (dedup + unique-row decode) by decoder class.",
+    ("decoder",),
+)
+_DECODE_SHOTS = _metrics.counter(
+    "repro_decode_shots_total",
+    "Shots decoded (before deduplication) by decoder class.",
+    ("decoder",),
+)
+_DECODE_UNIQUE = _metrics.counter(
+    "repro_decode_unique_total",
+    "Unique syndrome rows decoded by decoder class.",
+    ("decoder",),
+)
+_DECODE_BATCH_UNIQUE = _metrics.histogram(
+    "repro_decode_batch_unique",
+    "Unique syndrome rows per decode batch by decoder class.",
+    ("decoder",),
+    bounds=_metrics.COUNT_BUCKETS,
+)
 
 
 @runtime_checkable
@@ -129,12 +160,22 @@ class BatchDecoder:
             for i in range(shots):
                 out[i] = self.decode(syndromes[i])
             return out
+        start = time.perf_counter() if _metrics.enabled() else 0.0
         first_index, inverse = _unique_packed_rows(packed)
         unique_syndromes = _unpack_rows(packed[first_index], num_detectors)
         unique_out = np.asarray(
             self._decode_unique(unique_syndromes), dtype=np.uint8
         )
-        return unique_out[inverse]
+        out = unique_out[inverse]
+        if _metrics.enabled():
+            label = type(self).__name__
+            _DECODE_SECONDS.labels(decoder=label).observe(
+                time.perf_counter() - start
+            )
+            _DECODE_SHOTS.labels(decoder=label).inc(shots)
+            _DECODE_UNIQUE.labels(decoder=label).inc(len(first_index))
+            _DECODE_BATCH_UNIQUE.labels(decoder=label).observe(len(first_index))
+        return out
 
 
 def _unpack_rows(packed: np.ndarray, num_detectors: int) -> np.ndarray:

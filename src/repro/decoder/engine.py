@@ -36,6 +36,7 @@ throughput-oriented:
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -46,11 +47,42 @@ from repro.decoder.graph import DecodingGraph
 from repro.decoder.mwpm import MWPMDecoder
 from repro.decoder.sequential import SequentialCNOTDecoder
 from repro.decoder.union_find import UnionFindDecoder
-from repro.noise.dem import DetectorErrorModel
+from repro.noise.dem import DetectorErrorModel, last_periodic_fallback
+from repro.obs import metrics as _metrics
+from repro.obs.logs import get_logger
+from repro.obs.spans import span
 from repro.sim.circuit import Circuit
 from repro.sim.frame import FrameSimulator
 
 SeedLike = Union[int, np.random.SeedSequence]
+
+_LOG = get_logger("repro.decoder.engine")
+
+# Shot/failure/shard counters are deterministic functions of (seed,
+# shard_shots) and merge identically for any worker count; the phase-time
+# counters and throughput gauge are wall-clock-valued and exist for
+# diagnosis, not invariance.
+_ENGINE_SHOTS = _metrics.counter(
+    "repro_engine_shots_total", "Shots sampled and decoded by the engine."
+)
+_ENGINE_FAILURES = _metrics.counter(
+    "repro_engine_failures_total", "Logical failures counted by the engine."
+)
+_ENGINE_SHARDS = _metrics.counter(
+    "repro_engine_shards_total", "Shards executed by the engine."
+)
+_ENGINE_SAMPLE_SECONDS = _metrics.counter(
+    "repro_engine_sample_seconds_total",
+    "Wall-clock seconds spent sampling shards.",
+)
+_ENGINE_DECODE_SECONDS = _metrics.counter(
+    "repro_engine_decode_seconds_total",
+    "Wall-clock seconds spent deduplicating and decoding shards.",
+)
+_ENGINE_THROUGHPUT = _metrics.gauge(
+    "repro_engine_last_shots_per_second",
+    "Throughput of the most recent DecodingEngine.run call.",
+)
 
 # -- decoder registry ----------------------------------------------------------
 
@@ -173,25 +205,43 @@ def _run_shard(task: Tuple[int, np.random.SeedSequence]) -> Tuple[int, int]:
     decoder: Decoder = _WORKER["decoder"]
     observable: Optional[int] = _WORKER["observable"]
     rng = np.random.default_rng(seed_seq)
-    if _WORKER["packed"]:
-        # Packed end to end: sampling emits bit-packed per-shot keys that
-        # the decoder dedups directly; only the tiny observable table is
-        # unpacked for the failure comparison.
-        det_keys, obs_keys = sim.sample_packed(shots, rng=rng)
-        predictions = decoder.decode_packed(det_keys, _WORKER["num_detectors"])
-        num_obs = _WORKER["num_observables"]
-        if num_obs:
-            observables = np.unpackbits(obs_keys, axis=1, count=num_obs)
+    metered = _metrics.enabled()
+    with span("engine.shard", shots=shots):
+        if _WORKER["packed"]:
+            # Packed end to end: sampling emits bit-packed per-shot keys
+            # that the decoder dedups directly; only the tiny observable
+            # table is unpacked for the failure comparison.
+            start = time.perf_counter() if metered else 0.0
+            det_keys, obs_keys = sim.sample_packed(shots, rng=rng)
+            if metered:
+                mid = time.perf_counter()
+                _ENGINE_SAMPLE_SECONDS.inc(mid - start)
+            predictions = decoder.decode_packed(
+                det_keys, _WORKER["num_detectors"]
+            )
+            if metered:
+                _ENGINE_DECODE_SECONDS.inc(time.perf_counter() - mid)
+            num_obs = _WORKER["num_observables"]
+            if num_obs:
+                observables = np.unpackbits(obs_keys, axis=1, count=num_obs)
+            else:
+                observables = np.zeros((shots, 0), dtype=np.uint8)
         else:
-            observables = np.zeros((shots, 0), dtype=np.uint8)
-    else:
-        detectors, observables = sim.sample(shots, rng=rng)
-        predictions = decoder.decode_batch(detectors)
-    if observable is None:
-        wrong = (predictions ^ observables).any(axis=1)
-    else:
-        wrong = predictions[:, observable] ^ observables[:, observable]
-    return shots, int(np.sum(wrong))
+            start = time.perf_counter() if metered else 0.0
+            detectors, observables = sim.sample(shots, rng=rng)
+            if metered:
+                mid = time.perf_counter()
+                _ENGINE_SAMPLE_SECONDS.inc(mid - start)
+            predictions = decoder.decode_batch(detectors)
+            if metered:
+                _ENGINE_DECODE_SECONDS.inc(time.perf_counter() - mid)
+        if observable is None:
+            wrong = (predictions ^ observables).any(axis=1)
+        else:
+            wrong = predictions[:, observable] ^ observables[:, observable]
+        if metered:
+            _ENGINE_SHARDS.inc()
+        return shots, int(np.sum(wrong))
 
 
 def _collect_shard(
@@ -204,7 +254,36 @@ def _collect_shard(
     """
     shots, seed_seq = task
     sim: FrameSimulator = _WORKER["sim"]
+    if _metrics.enabled():
+        start = time.perf_counter()
+        out = sim.sample_packed(shots, rng=np.random.default_rng(seed_seq))
+        _ENGINE_SAMPLE_SECONDS.inc(time.perf_counter() - start)
+        _ENGINE_SHARDS.inc()
+        return out
     return sim.sample_packed(shots, rng=np.random.default_rng(seed_seq))
+
+
+def _run_shard_metered(task):
+    """Pool-side wrapper: run the shard, ship the shard's metric delta.
+
+    The parent merges the delta into its registry, so counters and
+    histograms come out identical to a serial run -- the worker-count
+    invariance contract extended to telemetry.  The snapshot is taken per
+    task (not per worker) so increments are never double-shipped.
+    """
+    base = _metrics.snapshot()
+    out = _run_shard(task)
+    return out, _metrics.delta_since(base)
+
+
+def _collect_shard_metered(task):
+    """Pool-side wrapper for :func:`_collect_shard`; see above."""
+    base = _metrics.snapshot()
+    out = _collect_shard(task)
+    return out, _metrics.delta_since(base)
+
+
+_METERED = {_run_shard: _run_shard_metered, _collect_shard: _collect_shard_metered}
 
 
 class DecodingEngine:
@@ -274,13 +353,28 @@ class DecodingEngine:
         if isinstance(decoder, str):
             # DEM extraction is the dominant setup cost; skip it entirely
             # when the caller hands over an already-built decoder.
-            self.dem: Optional[DetectorErrorModel] = self._sim.detector_error_model()
-            self.decoder = make_decoder(
-                decoder, self.dem, detector_meta=detector_meta, basis=basis
-            )
+            with span("engine.extract_dem"):
+                self.dem: Optional[DetectorErrorModel] = (
+                    self._sim.detector_error_model()
+                )
+            # A failed periodic certification silently degrades DEM
+            # extraction to the linear path; surface the reason so the
+            # degradation is observable (also counted in
+            # repro_periodic_fallback_total{reason=...}).
+            self.periodic_fallback_reason = last_periodic_fallback()
+            if self.periodic_fallback_reason is not None:
+                _LOG.debug(
+                    "periodic DEM extraction fell back to linear: %s",
+                    self.periodic_fallback_reason,
+                )
+            with span("engine.build_decoder", decoder=decoder):
+                self.decoder = make_decoder(
+                    decoder, self.dem, detector_meta=detector_meta, basis=basis
+                )
         else:
             self.dem = None
             self.decoder = decoder
+            self.periodic_fallback_reason = None
 
     def close(self) -> None:
         """Release the persistent worker pool (idempotent)."""
@@ -312,9 +406,16 @@ class DecodingEngine:
         root = _as_seed_sequence(seed)
         sizes = self._shard_sizes(shots)
         tasks = list(zip(sizes, root.spawn(len(sizes))))
-        results = self._execute(tasks)
+        with span("engine.run", shots=shots, workers=self.workers):
+            start = time.perf_counter()
+            results = self._execute(tasks)
+            elapsed = time.perf_counter() - start
         total = sum(s for s, _ in results)
         failures = sum(f for _, f in results)
+        _ENGINE_SHOTS.inc(total)
+        _ENGINE_FAILURES.inc(failures)
+        if elapsed > 0:
+            _ENGINE_THROUGHPUT.set(total / elapsed)
         return EngineResult(shots=total, failures=failures, shards=len(tasks))
 
     def run_until(
@@ -339,19 +440,26 @@ class DecodingEngine:
         shots_done = 0
         failures = 0
         shards = 0
-        while shots_done < max_shots and failures < target_failures:
-            sizes = self._next_wave_sizes(max_shots - shots_done)
-            tasks = list(zip(sizes, root.spawn(len(sizes))))
-            results = self._execute(tasks)
-            for shard_shots, shard_failures in results:
-                shots_done += shard_shots
-                failures += shard_failures
-                shards += 1
-                if failures >= target_failures or shots_done >= max_shots:
-                    break
-            else:
-                continue
-            break
+        with span(
+            "engine.run_until",
+            target_failures=target_failures,
+            max_shots=max_shots,
+        ):
+            while shots_done < max_shots and failures < target_failures:
+                sizes = self._next_wave_sizes(max_shots - shots_done)
+                tasks = list(zip(sizes, root.spawn(len(sizes))))
+                results = self._execute(tasks)
+                for shard_shots, shard_failures in results:
+                    shots_done += shard_shots
+                    failures += shard_failures
+                    shards += 1
+                    if failures >= target_failures or shots_done >= max_shots:
+                        break
+                else:
+                    continue
+                break
+        _ENGINE_SHOTS.inc(shots_done)
+        _ENGINE_FAILURES.inc(failures)
         return EngineResult(shots=shots_done, failures=failures, shards=shards)
 
     def collect(
@@ -423,7 +531,15 @@ class DecodingEngine:
                 sim=self._sim,
             )
             return [fn(task) for task in tasks]
-        return self._ensure_pool().map(fn, tasks)
+        metered = _METERED.get(fn)
+        if metered is None or not _metrics.enabled():
+            return self._ensure_pool().map(fn, tasks)
+        outs: List = []
+        with span("engine.merge_deltas", tasks=len(tasks)):
+            for out, delta in self._ensure_pool().map(metered, tasks):
+                _metrics.merge(delta)
+                outs.append(out)
+        return outs
 
 
 def _as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:

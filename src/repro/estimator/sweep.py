@@ -46,10 +46,38 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import metrics as _metrics
+from repro.obs.spans import span
+
 PointFn = Callable[[Dict[str, Any]], Any]
 Record = Dict[str, Any]
 
 DEFAULT_SHARD_SIZE = 16
+
+# Per-point timing lands in one histogram regardless of where the point
+# ran (inline probe, serial fallback, or pool worker shipping deltas), so
+# the sweep cost distribution is comparable across execution modes; the
+# mode counter records which path the auto-serial decision took, and the
+# evaluated/pruned counters quantify branch-and-bound effectiveness.
+_POINT_SECONDS = _metrics.histogram(
+    "repro_sweep_point_seconds", "Per-point evaluation latency in sweeps."
+)
+_POINTS = _metrics.counter(
+    "repro_sweep_points_total", "Sweep grid points evaluated."
+)
+_SWEEP_RUNS = _metrics.counter(
+    "repro_sweep_runs_total",
+    "Sweep invocations by execution mode.",
+    ("mode",),
+)
+_MINIMIZE_EVALUATED = _metrics.counter(
+    "repro_sweep_evaluated_total",
+    "Grid points evaluated by branch-and-bound minimize().",
+)
+_MINIMIZE_PRUNED = _metrics.counter(
+    "repro_sweep_pruned_total",
+    "Grid points pruned by branch-and-bound minimize().",
+)
 
 
 @dataclass(frozen=True)
@@ -135,7 +163,28 @@ def _worker_init(fn: PointFn) -> None:
 
 def _run_shard(points: List[Dict[str, Any]]) -> List[Record]:
     fn: PointFn = _WORKER["fn"]
-    return [_as_record(point, fn(point)) for point in points]
+    if not _metrics.enabled():
+        return [_as_record(point, fn(point)) for point in points]
+    records: List[Record] = []
+    for point in points:
+        start = time.perf_counter()
+        records.append(_as_record(point, fn(point)))
+        _POINT_SECONDS.observe(time.perf_counter() - start)
+        _POINTS.inc()
+    return records
+
+
+def _run_shard_metered(points: List[Dict[str, Any]]):
+    """Pool-side wrapper: evaluate the shard, ship its metric delta home.
+
+    Mirrors the decoding engine's metered shard protocol so counters and
+    histograms recorded inside pool workers (per-point timings, decoder
+    metrics of nested engines) merge into the parent registry and sweeps
+    stay worker-count invariant in what they report.
+    """
+    base = _metrics.snapshot()
+    records = _run_shard(points)
+    return records, _metrics.delta_since(base)
 
 
 def _shards(points: List[Dict[str, Any]], shard_size: int) -> List[List[Dict[str, Any]]]:
@@ -206,24 +255,30 @@ def sweep(
     points = spec.points()
     if not points:
         return []
-    if jobs == 1:
+    with span("sweep", points=len(points), jobs=jobs):
+        if jobs == 1:
+            _SWEEP_RUNS.labels(mode="serial").inc()
+            _worker_init(fn)
+            return _run_shard(points)
+        if not auto_serial:
+            _SWEEP_RUNS.labels(mode="pooled").inc()
+            return _pooled(fn, points, jobs, shard_size)
         _worker_init(fn)
-        return _run_shard(points)
-    if not auto_serial:
-        return _pooled(fn, points, jobs, shard_size)
-    _worker_init(fn)
-    records: List[Record] = []
-    per_point = math.inf
-    for point in points[:_PROBE_POINTS]:
-        start = time.perf_counter()
-        records.extend(_run_shard([point]))
-        per_point = min(per_point, time.perf_counter() - start)
-    rest = points[_PROBE_POINTS:]
-    if not rest:
-        return records
-    if per_point * len(rest) <= measured_pool_overhead(jobs):
-        return records + _run_shard(rest)
-    return records + _pooled(fn, rest, jobs, shard_size)
+        records: List[Record] = []
+        per_point = math.inf
+        for point in points[:_PROBE_POINTS]:
+            start = time.perf_counter()
+            records.extend(_run_shard([point]))
+            per_point = min(per_point, time.perf_counter() - start)
+        rest = points[_PROBE_POINTS:]
+        if not rest:
+            _SWEEP_RUNS.labels(mode="serial").inc()
+            return records
+        if per_point * len(rest) <= measured_pool_overhead(jobs):
+            _SWEEP_RUNS.labels(mode="serial").inc()
+            return records + _run_shard(rest)
+        _SWEEP_RUNS.labels(mode="pooled").inc()
+        return records + _pooled(fn, rest, jobs, shard_size)
 
 
 def _pooled(
@@ -233,7 +288,13 @@ def _pooled(
     with multiprocessing.Pool(
         min(jobs, len(shards)), initializer=_worker_init, initargs=(fn,)
     ) as pool:
-        shard_results = pool.map(_run_shard, shards)
+        if _metrics.enabled():
+            shard_results = []
+            for records, delta in pool.map(_run_shard_metered, shards):
+                _metrics.merge(delta)
+                shard_results.append(records)
+        else:
+            shard_results = pool.map(_run_shard, shards)
     return [record for shard in shard_results for record in shard]
 
 
@@ -291,6 +352,8 @@ def minimize(
             f"no grid point produced a finite objective "
             f"({len(trace)} evaluated)"
         )
+    _MINIMIZE_EVALUATED.inc(len(trace))
+    _MINIMIZE_PRUNED.inc(pruned)
     return MinimizeResult(
         best=best,
         best_objective=best_objective,

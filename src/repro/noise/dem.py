@@ -28,13 +28,49 @@ on, kept as the verification baseline the weighted graph must beat.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs.logs import get_logger
+from repro.obs.spans import span
+
 if TYPE_CHECKING:  # pragma: no cover - type-only; see the lazy imports below
     from repro.sim.circuit import Circuit
+
+_LOG = get_logger("repro.noise.dem")
+
+# Every silent auto->linear degradation of the periodic extraction is
+# counted by certification-failure reason; last_periodic_fallback() lets
+# callers (DecodingEngine debug output) surface the most recent one.
+_PERIODIC_FALLBACKS = _metrics.counter(
+    "repro_periodic_fallback_total",
+    "Periodic DEM extractions that fell back to the linear path, by reason.",
+    ("reason",),
+)
+_EXTRACT_SECONDS = _metrics.counter(
+    "repro_dem_extract_seconds_total",
+    "Wall-clock seconds spent extracting detector error models, by path.",
+    ("method",),
+)
+
+_FALLBACK_REASON: Optional[str] = None
+
+
+def last_periodic_fallback() -> Optional[str]:
+    """Reason the most recent ``extract_dem(method="auto")`` went linear.
+
+    ``None`` when the last auto extraction used the periodic path (or
+    forced a method explicitly).  Reasons mirror the certification
+    failure sites of :func:`_periodic_mechanisms`: ``"no_period"``,
+    ``"few_reps"``, ``"no_round_measurements"``,
+    ``"epilogue_record_ref"``, ``"uncertified_shift"``,
+    ``"span_exceeds_certified"``, ``"prologue_span"``.
+    """
+    return _FALLBACK_REASON
 
 # NOTE: this module sits *below* repro.sim in the import graph
 # (repro.sim.frame re-exports the DEM classes defined here), so importing
@@ -164,18 +200,34 @@ def extract_dem(
             XOR-convolution in :meth:`DetectorErrorModel.merged`
             accumulates bit-identically.
     """
+    global _FALLBACK_REASON
     if method not in ("auto", "linear", "periodic"):
         raise ValueError(f"unknown DEM extraction method {method!r}")
     mechanisms = None
+    fallback_reason = None
+    start = time.perf_counter()
     if method in ("auto", "periodic"):
-        mechanisms = _periodic_mechanisms(circuit)
+        mechanisms, fallback_reason = _periodic_mechanisms(circuit)
         if mechanisms is None and method == "periodic":
             raise ValueError(
                 "DEM method 'periodic' requires a verified repeated round, "
                 "but the circuit has none"
             )
+    if method == "auto":
+        # Forced methods are a caller's choice; only the *silent* auto
+        # degradation is tracked and counted.
+        _FALLBACK_REASON = fallback_reason
+        if fallback_reason is not None:
+            _PERIODIC_FALLBACKS.labels(reason=fallback_reason).inc()
+            _LOG.debug(
+                "periodic DEM extraction fell back to linear: %s",
+                fallback_reason,
+            )
+    used = "periodic" if mechanisms is not None else "linear"
     if mechanisms is None:
-        mechanisms = _linear_mechanisms(circuit)
+        with span("dem.linear_mechanisms"):
+            mechanisms = _linear_mechanisms(circuit)
+    _EXTRACT_SECONDS.labels(method=used).inc(time.perf_counter() - start)
     dem = DetectorErrorModel(
         [m for m in mechanisms if m.detectors or m.observables],
         circuit.num_detectors,
@@ -252,8 +304,14 @@ def _linear_mechanisms(circuit: "Circuit") -> List[ErrorMechanism]:
 _SURROGATE_REPS = 5
 
 
-def _periodic_mechanisms(circuit: "Circuit") -> Optional[List[ErrorMechanism]]:
-    """Mechanism list via periodic unrolling, or ``None`` to fall back.
+def _periodic_mechanisms(
+    circuit: "Circuit",
+) -> Tuple[Optional[List[ErrorMechanism]], Optional[str]]:
+    """Mechanism list via periodic unrolling: ``(mechanisms, reason)``.
+
+    ``(list, None)`` on success; ``(None, reason)`` when a certification
+    failed and the caller must fall back to the linear path (reasons are
+    enumerated in :func:`last_periodic_fallback`).
 
     Emits mechanisms in linear circuit order (prologue, replay 0..k-1,
     epilogue, preserving within-round enumeration order) with the exact
@@ -264,13 +322,12 @@ def _periodic_mechanisms(circuit: "Circuit") -> Optional[List[ErrorMechanism]]:
     from repro.sim.periodic import detect_period
 
     spec = detect_period(circuit)
-    if (
-        spec is None
-        or spec.reps < _SURROGATE_REPS
-        or spec.meas_per_rep <= 0
-        or spec.det_per_rep <= 0
-    ):
-        return None
+    if spec is None:
+        return None, "no_period"
+    if spec.reps < _SURROGATE_REPS:
+        return None, "few_reps"
+    if spec.meas_per_rep <= 0 or spec.det_per_rep <= 0:
+        return None, "no_round_measurements"
     reps, surrogate_reps = spec.reps, _SURROGATE_REPS
     ops = circuit.operations
     start, length = spec.start, spec.length
@@ -302,7 +359,7 @@ def _periodic_mechanisms(circuit: "Circuit") -> Optional[List[ErrorMechanism]]:
                 for t in op.targets:
                     if t >= meas_start:
                         if t + meas_shift < meas_start:
-                            return None
+                            return None, "epilogue_record_ref"
                         targets.append(t + meas_shift)
                     else:
                         targets.append(t)
@@ -311,7 +368,7 @@ def _periodic_mechanisms(circuit: "Circuit") -> Optional[List[ErrorMechanism]]:
                 surrogate.append(op.name, op.targets, op.arg, op.args)
             regions.append("epilogue")
     except ValueError:
-        return None
+        return None, "epilogue_record_ref"
 
     mechanisms = enumerate_mechanisms(surrogate)
     symptoms, mech_regions = _mechanism_symptoms_packed(
@@ -345,15 +402,15 @@ def _periodic_mechanisms(circuit: "Circuit") -> Optional[List[ErrorMechanism]]:
         prefix += 1
     trailing = surrogate_reps - prefix  # epilogue-influenced replays
     if prefix < 2:
-        return None
+        return None, "uncertified_shift"
     # Span guards: every certified mechanism's detector reach must stay
     # within the rounds whose invariance was directly certified, and
     # prologue effects must not leak into the trailing region.
     certified_limit = prologue_rows + (prefix - 1) * det_per_rep
     if any(d >= certified_limit for _, dets, _ in base for d in dets):
-        return None
+        return None, "span_exceeds_certified"
     if any(d >= certified_limit for _, dets, _ in prologue_mechs for d in dets):
-        return None
+        return None, "prologue_span"
 
     # Unroll to the full circuit: bulk = certified round replicated over
     # the leading reps - trailing replays; trailing replays and epilogue
@@ -378,7 +435,7 @@ def _periodic_mechanisms(circuit: "Circuit") -> Optional[List[ErrorMechanism]]:
         out.append(
             ErrorMechanism(prob, tuple(d + row_shift for d in dets), obs)
         )
-    return out
+    return out, None
 
 
 def _mechanism_symptoms_packed(circuit: "Circuit", mechanisms, regions):

@@ -1,0 +1,125 @@
+"""repro.obs -- telemetry: mergeable metrics, spans, logging, exposition.
+
+Public surface:
+
+* metrics -- :func:`counter`, :func:`gauge`, :func:`histogram`,
+  :func:`snapshot`/:func:`delta_since`/:func:`merge` (the worker-delta
+  protocol), :func:`percentiles` (programmatic p50/p99 for ROADMAP
+  item 2), :func:`set_enabled`/:func:`metrics_disabled` (the benchmark
+  overhead gate's A/B switch).
+* spans -- :func:`span`, :func:`traced`, :func:`enable_tracing`,
+  :func:`write_trace`, :func:`render_trace_tree`
+  (``REPRO_TRACE=out.json`` for Perfetto-viewable Chrome traces).
+* exposition -- :func:`render_prometheus` / :func:`parse_prometheus`.
+* sinks -- :func:`get_logger`, :func:`echo`.
+
+Importing this package registers the cache collector: the counters kept
+by :mod:`repro.core.cache` (``cache_stats()`` stays the compat API)
+surface as ``repro_cache_{hits,misses,entries}{cache=...}`` gauges at
+scrape time without ``core.cache`` knowing obs exists.
+"""
+
+from .logs import echo, get_logger
+from .meta import run_metadata
+from .metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    delta_since,
+    enabled,
+    gauge,
+    histogram,
+    merge,
+    metrics_disabled,
+    percentiles,
+    register_collector,
+    reset,
+    set_enabled,
+    snapshot,
+    unregister_collector,
+)
+from .prometheus import parse_prometheus, render_prometheus
+from .spans import (
+    clear_trace,
+    disable_tracing,
+    enable_tracing,
+    render_trace_tree,
+    span,
+    trace_events,
+    traced,
+    tracing_enabled,
+    write_trace,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "clear_trace",
+    "counter",
+    "delta_since",
+    "disable_tracing",
+    "echo",
+    "enable_tracing",
+    "enabled",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "merge",
+    "metrics_disabled",
+    "parse_prometheus",
+    "percentiles",
+    "register_collector",
+    "render_prometheus",
+    "render_trace_tree",
+    "reset",
+    "run_metadata",
+    "set_enabled",
+    "snapshot",
+    "span",
+    "trace_events",
+    "traced",
+    "tracing_enabled",
+    "unregister_collector",
+    "write_trace",
+]
+
+
+def _cache_collector():
+    """Expose repro.core.cache counters as scrape-time gauges."""
+    from repro.core.cache import cache_stats
+
+    hits = {}
+    misses = {}
+    entries = {}
+    for name, (hit_count, miss_count, currsize) in cache_stats().items():
+        key = (name,)
+        hits[key] = float(hit_count)
+        misses[key] = float(miss_count)
+        entries[key] = float(currsize)
+    return {
+        "repro_cache_hits": (
+            "gauge", "Memoization cache hits since process start.",
+            ("cache",), hits,
+        ),
+        "repro_cache_misses": (
+            "gauge", "Memoization cache misses since process start.",
+            ("cache",), misses,
+        ),
+        "repro_cache_entries": (
+            "gauge", "Current memoization cache entry count.",
+            ("cache",), entries,
+        ),
+    }
+
+
+register_collector(_cache_collector)

@@ -1,0 +1,51 @@
+"""Logging and CLI-output sinks for repro library code.
+
+Library modules must not call bare ``print()`` (enforced by the
+``source_lint`` print-ban rule); diagnostics go through
+:func:`get_logger` and intentional CLI output through :func:`echo`.
+``REPRO_DEBUG=1`` attaches a stderr handler at DEBUG so fallback
+reasons, cache churn, and span summaries become visible without code
+changes.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure() -> None:
+    global _configured
+    if _configured:
+        return
+    _configured = True
+    root = logging.getLogger(_ROOT_NAME)
+    if os.environ.get("REPRO_DEBUG") == "1" and not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+        root.setLevel(logging.DEBUG)
+
+
+def get_logger(name: str = _ROOT_NAME) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (configured on first use)."""
+    _configure()
+    if name != _ROOT_NAME and not name.startswith(_ROOT_NAME + "."):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def echo(message: str = "") -> None:
+    """Intentional user-facing CLI output (the sanctioned print substitute).
+
+    Flushes so service-startup banners appear promptly even when stdout
+    is a pipe (scripts wait on them).
+    """
+    sys.stdout.write(str(message) + "\n")
+    sys.stdout.flush()

@@ -1,0 +1,40 @@
+"""Run metadata stamped into BENCH_*.json so perf points are attributable.
+
+A BENCH number without provenance cannot be compared across PRs; every
+benchmark output now carries the source-tree fingerprint
+(:func:`repro.core.cache.code_version`), a timestamp (harness-supplied
+via ``BENCH_TIMESTAMP`` when reproducibility matters), the hostname, and
+interpreter/numpy versions.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import time
+from typing import Any, Dict, Optional
+
+
+def run_metadata(timestamp: Optional[str] = None) -> Dict[str, Any]:
+    """Provenance dict for benchmark outputs.
+
+    ``timestamp`` (or env ``BENCH_TIMESTAMP``) lets the harness pin a
+    run time; otherwise the current epoch second is used.
+    """
+    from repro.core.cache import code_version
+
+    if timestamp is None:
+        timestamp = os.environ.get("BENCH_TIMESTAMP") or str(int(time.time()))
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "code_version": code_version(),
+        "timestamp": timestamp,
+        "hostname": socket.gethostname(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+    }

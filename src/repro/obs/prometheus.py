@@ -1,0 +1,235 @@
+"""Prometheus text exposition (format 0.0.4): renderer and strict parser.
+
+:func:`render_prometheus` turns a registry collect() into the scrape
+payload served at ``/metrics``.  :func:`parse_prometheus` is the
+validating inverse used by CI's curl test -- it enforces the grammar
+(metric-name charset, label syntax, known TYPEs) *and* the histogram
+invariants (cumulative monotone buckets, ``+Inf`` bucket == ``_count``)
+so a malformed exposition fails the build instead of a scraper.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import REGISTRY, MetricsRegistry, Snapshot
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labelnames: Tuple[str, ...], labelvalues: Tuple[str, ...],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{_escape_label_value(extra[1])}"')
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None,
+                      families: Optional[Snapshot] = None) -> str:
+    """Render a registry (default: the global one) as exposition text.
+
+    ``families`` overrides the registry collect() when the caller has a
+    pre-merged snapshot (e.g. rendering a worker delta for debugging).
+    """
+    if families is None:
+        families = (registry or REGISTRY).collect()
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        kind = family["type"]
+        labelnames = tuple(family["labelnames"])
+        lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for key in sorted(family["series"]):
+            value = family["series"][key]
+            if kind == "histogram":
+                bounds = value["bounds"]
+                cumulative = 0
+                for bound, bucket_count in zip(bounds, value["buckets"]):
+                    cumulative += bucket_count
+                    labels = _format_labels(
+                        labelnames, key, ("le", _format_value(float(bound)))
+                    )
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                cumulative += value["buckets"][-1]
+                labels = _format_labels(labelnames, key, ("le", "+Inf"))
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _format_labels(labelnames, key)
+                lines.append(f"{name}_sum{labels} {_format_value(value['sum'])}")
+                lines.append(f"{name}_count{labels} {cumulative}")
+            else:
+                labels = _format_labels(labelnames, key)
+                lines.append(f"{name}{labels} {_format_value(float(value))}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"line {line_no}: invalid sample value {text!r}")
+
+
+def _parse_labels(text: str, line_no: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    position = 0
+    while position < len(text):
+        match = _LABEL_PAIR_RE.match(text, position)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed label set {{{text}}}")
+        name = match.group("name")
+        if name in labels:
+            raise ValueError(f"line {line_no}: duplicate label {name!r}")
+        value = match.group("value")
+        value = value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+        labels[name] = value
+        position = match.end()
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Strictly parse exposition text; raise ``ValueError`` on any violation.
+
+    Returns ``{family_name: {"type", "help", "samples": [(name, labels,
+    value)]}}``.  Histogram families additionally get per-labelset bucket
+    monotonicity and ``+Inf == _count`` checks.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+    seen_samples = set()
+    for line_no, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {line_no}: invalid metric name {name!r}")
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )["help"] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                raise ValueError(f"line {line_no}: malformed TYPE line")
+            name, kind = parts
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {line_no}: invalid metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {line_no}: unknown metric type {kind!r}")
+            if name in types:
+                raise ValueError(f"line {line_no}: duplicate TYPE for {name!r}")
+            types[name] = kind
+            families.setdefault(name, {"type": kind, "help": "", "samples": []})
+            families[name]["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line.strip())
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample line {line!r}")
+        sample_name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", line_no)
+        for label_name in labels:
+            if not _LABEL_RE.match(label_name):
+                raise ValueError(
+                    f"line {line_no}: invalid label name {label_name!r}"
+                )
+        value = _parse_value(match.group("value"), line_no)
+        family_name = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and types.get(base) in ("histogram", "summary"):
+                family_name = base
+                break
+        if family_name not in families:
+            raise ValueError(
+                f"line {line_no}: sample {sample_name!r} precedes its "
+                f"HELP/TYPE metadata"
+            )
+        dedup_key = (sample_name, tuple(sorted(labels.items())))
+        if dedup_key in seen_samples:
+            raise ValueError(f"line {line_no}: duplicate sample {sample_name!r}")
+        seen_samples.add(dedup_key)
+        families[family_name]["samples"].append((sample_name, labels, value))
+
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        _check_histogram(name, family["samples"])
+    return families
+
+
+def _check_histogram(name: str, samples) -> None:
+    buckets: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    for sample_name, labels, value in samples:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        if sample_name == f"{name}_bucket":
+            if "le" not in labels:
+                raise ValueError(f"histogram {name!r}: bucket without le label")
+            le = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            buckets.setdefault(key, []).append((le, value))
+        elif sample_name == f"{name}_count":
+            counts[key] = value
+    for key, series in buckets.items():
+        series.sort(key=lambda pair: pair[0])
+        if not series or not math.isinf(series[-1][0]):
+            raise ValueError(f"histogram {name!r}: missing +Inf bucket")
+        previous = -math.inf
+        for le, value in series:
+            if value < previous:
+                raise ValueError(
+                    f"histogram {name!r}: bucket counts not monotone"
+                )
+            previous = value
+        if key in counts and counts[key] != series[-1][1]:
+            raise ValueError(
+                f"histogram {name!r}: _count != +Inf bucket count"
+            )
+        if key not in counts:
+            raise ValueError(f"histogram {name!r}: missing _count sample")

@@ -1,0 +1,227 @@
+"""Nested spans with Chrome trace-event export and a text-tree renderer.
+
+Tracing is off by default; :func:`span` then returns a shared null
+context manager and costs one global read.  When enabled
+(:func:`enable_tracing` or env ``REPRO_TRACE=out.json``), spans record
+complete ("X") events -- name, microsecond timestamp/duration, pid/tid,
+nesting depth, free-form args -- into an in-process buffer.
+:func:`write_trace` emits ``{"traceEvents": [...]}`` loadable in
+Perfetto / ``chrome://tracing``; :func:`render_trace_tree` prints the
+same data as an indented tree with repeated siblings aggregated, for
+``python -m repro --trace``.
+
+Pool workers inherit the enabled flag via fork but their buffers die
+with the process, so a trace shows the parent's orchestration (shard
+fan-out, merge, report) rather than per-worker decode internals; the
+``atexit`` writer checks the recording PID so forked children cannot
+clobber the parent's output file.
+"""
+
+from __future__ import annotations
+
+import atexit
+import functools
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class _State:
+    __slots__ = ("enabled", "path", "pid")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.path: Optional[str] = None
+        self.pid: Optional[int] = None
+
+
+_STATE = _State()
+_EVENTS: List[Dict[str, Any]] = []
+_EVENTS_LOCK = threading.Lock()
+_LOCAL = threading.local()
+
+
+class _NullSpan:
+    """Shared do-nothing span; identity-stable so tests can assert no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set(self, **args: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "args", "_start_us", "_depth")
+
+    def __init__(self, name: str, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.args = args
+        self._start_us = 0.0
+        self._depth = 0
+
+    def __enter__(self) -> "_Span":
+        depth = getattr(_LOCAL, "depth", 0)
+        self._depth = depth
+        _LOCAL.depth = depth + 1
+        self._start_us = time.perf_counter() * 1e6
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        end_us = time.perf_counter() * 1e6
+        _LOCAL.depth = self._depth
+        event = {
+            "name": self.name,
+            "ph": "X",
+            "ts": self._start_us,
+            "dur": end_us - self._start_us,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": dict(self.args, depth=self._depth),
+        }
+        with _EVENTS_LOCK:
+            _EVENTS.append(event)
+
+    def set(self, **args: Any) -> None:
+        self.args.update(args)
+
+
+def span(name: str, **args: Any):
+    """Context manager timing a named region; no-op unless tracing is on."""
+    if not _STATE.enabled:
+        return _NULL_SPAN
+    return _Span(name, args)
+
+
+def traced(name_or_fn: Any = None) -> Callable:
+    """Decorator form of :func:`span`; usable bare or with a name."""
+
+    def decorate(fn: Callable, name: Optional[str] = None) -> Callable:
+        label = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _STATE.enabled:
+                return fn(*args, **kwargs)
+            with _Span(label, {}):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name_or_fn):
+        return decorate(name_or_fn)
+    return lambda fn: decorate(fn, name_or_fn)
+
+
+def enable_tracing(path: Optional[str] = None) -> None:
+    """Start recording spans; ``path`` arms the at-exit JSON writer."""
+    _STATE.enabled = True
+    _STATE.path = path
+    _STATE.pid = os.getpid()
+    clear_trace()
+
+
+def disable_tracing() -> None:
+    _STATE.enabled = False
+
+
+def tracing_enabled() -> bool:
+    return _STATE.enabled
+
+
+def clear_trace() -> None:
+    with _EVENTS_LOCK:
+        _EVENTS.clear()
+
+
+def trace_events() -> List[Dict[str, Any]]:
+    with _EVENTS_LOCK:
+        return [dict(event) for event in _EVENTS]
+
+
+def write_trace(path: Optional[str] = None) -> Optional[str]:
+    """Write the Chrome trace JSON; returns the path written (or None)."""
+    path = path or _STATE.path
+    if path is None:
+        return None
+    payload = {"traceEvents": trace_events(), "displayTimeUnit": "ms"}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def _iter_roots(events: List[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+    for event in events:
+        if event["args"].get("depth", 0) == 0:
+            yield event
+
+
+def render_trace_tree() -> str:
+    """Indented per-thread span tree; repeated siblings aggregate by name."""
+    events = trace_events()
+    if not events:
+        return "(no spans recorded)"
+    by_tid: Dict[int, List[Dict[str, Any]]] = {}
+    for event in sorted(events, key=lambda e: e["ts"]):
+        by_tid.setdefault(event["tid"], []).append(event)
+    lines: List[str] = []
+    for tid, thread_events in sorted(by_tid.items()):
+        lines.append(f"thread {tid}")
+        lines.extend(_render_level(thread_events, depth=0, indent="  "))
+    return "\n".join(lines)
+
+
+def _render_level(events: List[Dict[str, Any]], depth: int, indent: str) -> List[str]:
+    level = [e for e in events if e["args"].get("depth", 0) == depth]
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    order: List[str] = []
+    for event in level:
+        if event["name"] not in groups:
+            order.append(event["name"])
+        groups.setdefault(event["name"], []).append(event)
+    lines: List[str] = []
+    for name in order:
+        members = groups[name]
+        total_ms = sum(e["dur"] for e in members) / 1000.0
+        if len(members) == 1:
+            lines.append(f"{indent}{name}  {total_ms:.3f} ms")
+        else:
+            mean_ms = total_ms / len(members)
+            lines.append(
+                f"{indent}{name}  x{len(members)}  total {total_ms:.3f} ms"
+                f"  mean {mean_ms:.3f} ms"
+            )
+        children = [
+            child
+            for member in members
+            for child in events
+            if child["args"].get("depth", 0) == depth + 1
+            and member["ts"] <= child["ts"]
+            and child["ts"] + child["dur"] <= member["ts"] + member["dur"] + 1e-3
+        ]
+        if children:
+            lines.extend(_render_level(children, depth + 1, indent + "  "))
+    return lines
+
+
+def _atexit_writer() -> None:
+    # Forked pool workers inherit this hook; only the process that called
+    # enable_tracing may write, or children truncate the parent's file.
+    if _STATE.enabled and _STATE.path and os.getpid() == _STATE.pid:
+        write_trace()
+
+
+_ENV_TRACE = os.environ.get("REPRO_TRACE")
+if _ENV_TRACE:
+    enable_tracing(_ENV_TRACE)
+atexit.register(_atexit_writer)

@@ -16,7 +16,12 @@ Endpoints (all JSON):
                                      once done).
 * ``DELETE /jobs/<id>``           -- cancel a queued job.
 * ``GET /stats``                  -- store, job-engine and sub-model-cache
-                                     counters.
+                                     counters, plus decode-latency
+                                     percentiles from the telemetry layer.
+* ``GET /metrics``                -- Prometheus text exposition (0.0.4) of
+                                     the whole registry: engine, decoder,
+                                     sweep, cache, job-queue, and
+                                     per-endpoint request-latency series.
 
 Query parameter values are parsed exactly like CLI ``--param`` values
 (Python literal when possible, string otherwise), and validated against
@@ -50,8 +55,25 @@ from repro.estimator.serialize import (
     finite,
     parse_override_value,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import percentiles as _percentiles
+from repro.obs.logs import echo
+from repro.obs.prometheus import render_prometheus
 from repro.service.jobs import JobEngine
 from repro.service.store import ResultStore, default_store_dir
+
+# Per-request latency by endpoint (first path segment) and a status-
+# labeled request counter: ROADMAP item 3's p50/p99-under-load surface.
+_REQUEST_SECONDS = _metrics.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency by endpoint.",
+    ("endpoint",),
+)
+_REQUESTS = _metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests handled, by endpoint and response status.",
+    ("endpoint", "status"),
+)
 
 
 class Service:
@@ -63,9 +85,52 @@ class Service:
         self.store = store if store is not None else ResultStore()
         self.engine = JobEngine(store=self.store, workers=workers)
         self.started_at = time.time()
+        # Scrape-time gauges for queue depth and the job/store counters:
+        # a collector (not pushed metrics) so the engine's own counter
+        # dicts remain the source of truth and multiple Service
+        # instances in one process (tests) never fight over series --
+        # the renderer takes the last-registered collector's values.
+        _metrics.register_collector(self._obs_collector)
 
     def close(self) -> None:
         self.engine.shutdown(wait=True)
+        _metrics.unregister_collector(self._obs_collector)
+
+    def _obs_collector(self):
+        jobs = self.engine.stats()
+        store = self.store.stats()
+        gauges = {
+            "repro_jobs_queue_depth": (
+                "Jobs waiting in the engine queue.", jobs.get("queued", 0)),
+            "repro_jobs_submitted": (
+                "Jobs submitted to the engine.", jobs.get("submitted", 0)),
+            "repro_jobs_coalesced": (
+                "Submissions coalesced onto an existing job.",
+                jobs.get("coalesced", 0)),
+            "repro_jobs_computed": (
+                "Jobs computed by engine workers.", jobs.get("computed", 0)),
+            "repro_jobs_store_hits": (
+                "Jobs served from the result store.",
+                jobs.get("store_hits", 0)),
+            "repro_jobs_failed": (
+                "Jobs that raised during computation.", jobs.get("failed", 0)),
+            "repro_jobs_cancelled": (
+                "Jobs cancelled while queued.", jobs.get("cancelled", 0)),
+            "repro_jobs_tracked": (
+                "Jobs currently tracked by the engine.",
+                jobs.get("jobs_tracked", 0)),
+            "repro_store_entries": (
+                "Entries tracked in the persistent result store.",
+                store.get("entries", 0)),
+            "repro_store_hits": (
+                "Result-store read hits.", store.get("hits", 0)),
+            "repro_store_misses": (
+                "Result-store read misses.", store.get("misses", 0)),
+        }
+        return {
+            name: ("gauge", help_text, (), {(): float(value)})
+            for name, (help_text, value) in gauges.items()
+        }
 
     # -- endpoint payloads -----------------------------------------------------
 
@@ -90,12 +155,23 @@ class Service:
         return {"scenarios": out}
 
     def stats(self) -> Dict[str, Any]:
+        decode = _percentiles("repro_decode_seconds", (0.5, 0.99))
+        request = _percentiles("repro_http_request_seconds", (0.5, 0.99))
         return {
             "store": self.store.stats(),
             "jobs": self.engine.stats(),
             "cache": {
                 name: {"hits": h, "misses": m, "size": s}
                 for name, (h, m, s) in cache_stats().items()
+            },
+            # NaN percentiles (nothing observed yet) serialize as null
+            # through finite(), keeping bodies RFC-valid.
+            "metrics": {
+                "enabled": _metrics.enabled(),
+                "decode_seconds_p50": decode[0.5],
+                "decode_seconds_p99": decode[0.99],
+                "request_seconds_p50": request[0.5],
+                "request_seconds_p99": request[0.99],
             },
         }
 
@@ -162,9 +238,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send(self, status: int, body: bytes) -> None:
+    def _send(
+        self, status: int, body: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        self._sent_status = status  # recorded for the request counter
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -178,7 +258,27 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- routing ---------------------------------------------------------------
 
+    def _observe_request(self, endpoint: str, route) -> None:
+        """Run a route handler with latency/status accounting around it."""
+        self._sent_status = 0
+        start = time.perf_counter()
+        try:
+            route()
+        finally:
+            if _metrics.enabled():
+                _REQUEST_SECONDS.labels(endpoint=endpoint).observe(
+                    time.perf_counter() - start
+                )
+                _REQUESTS.labels(
+                    endpoint=endpoint, status=str(self._sent_status)
+                ).inc()
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parts = [p for p in urlsplit(self.path).path.split("/") if p]
+        endpoint = parts[0] if parts else "root"
+        self._observe_request(endpoint, self._route_get)
+
+    def _route_get(self) -> None:
         service = self.server.service
         url = urlsplit(self.path)
         parts = [p for p in url.path.split("/") if p]
@@ -189,6 +289,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(200, service.scenarios())
             elif parts == ["stats"]:
                 self._send_json(200, service.stats())
+            elif parts == ["metrics"]:
+                self._send(
+                    200, render_prometheus().encode(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
             elif parts == ["estimate"]:
                 self._handle_estimate(url.query)
             elif len(parts) == 2 and parts[0] == "jobs":
@@ -198,7 +303,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     "service": "repro",
                     "endpoints": [
                         "/healthz", "/scenarios", "/estimate", "/jobs/<id>",
-                        "/stats",
+                        "/stats", "/metrics",
                     ],
                 })
             else:
@@ -209,6 +314,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        parts = [p for p in urlsplit(self.path).path.split("/") if p]
+        endpoint = parts[0] if parts else "root"
+        self._observe_request(endpoint, self._route_delete)
+
+    def _route_delete(self) -> None:
         service = self.server.service
         parts = [p for p in urlsplit(self.path).path.split("/") if p]
         if len(parts) == 2 and parts[0] == "jobs":
@@ -317,10 +427,9 @@ def serve(argv: Optional[List[str]] = None) -> None:
     if args.port_file:
         with open(args.port_file, "w") as handle:
             handle.write(f"{port}\n")
-    print(
+    echo(
         f"repro service listening on http://{host}:{port} "
-        f"(store: {store.root}, workers: {args.workers})",
-        flush=True,
+        f"(store: {store.root}, workers: {args.workers})"
     )
     try:
         httpd.serve_forever()

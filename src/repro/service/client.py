@@ -75,6 +75,11 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._json("/stats")
 
+    def metrics(self) -> str:
+        """Prometheus text exposition from ``/metrics``."""
+        _, body = self._request("/metrics")
+        return body.decode("utf-8")
+
     def estimate_raw(self, scenario: str, **params: Any) -> bytes:
         """Synchronous estimate, raw body (byte-identical to CLI --json)."""
         _, body = self._request(f"/estimate?{self._query(scenario, params)}")

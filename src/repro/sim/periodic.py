@@ -36,6 +36,7 @@ underlying structure is O(1).  This module exploits the periodicity:
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import Counter, namedtuple
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
@@ -43,6 +44,8 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.cache import register_cache
+from repro.obs import metrics as _metrics
+from repro.obs.spans import span
 from repro.sim.circuit import Circuit
 from repro.sim.compiled import (
     CompiledProgram,
@@ -64,6 +67,26 @@ DRAW_CHUNK_DOUBLES = 4 * 1024 * 1024
 
 # How many period candidates (distinct token-recurrence gaps) to scan.
 _CANDIDATE_GAPS = 5
+
+# Compile vs replay is the trade this module exists to win: compiles are
+# counted by the kind actually produced ("periodic", "linear", or
+# "linear_fallback" when auto wanted periodic but found no round), and
+# replay time is separated from compile time so the amortization is
+# visible in /metrics.
+_COMPILES = _metrics.counter(
+    "repro_periodic_compiles_total",
+    "Packed-program compilations (cache misses) by produced kind.",
+    ("kind",),
+)
+_COMPILE_SECONDS = _metrics.counter(
+    "repro_periodic_compile_seconds_total",
+    "Wall-clock seconds spent compiling packed programs, by produced kind.",
+    ("kind",),
+)
+_REPLAY_SECONDS = _metrics.counter(
+    "repro_periodic_replay_seconds_total",
+    "Wall-clock seconds spent replaying periodic programs (run_packed).",
+)
 
 
 @dataclass(frozen=True)
@@ -256,6 +279,7 @@ class PeriodicProgram:
         """
         if shots < 0:
             raise ValueError("shots must be >= 0")
+        replay_start = time.perf_counter() if _metrics.enabled() else 0.0
         words = (shots + 7) // 8
         padded = 8 * ((words + 7) // 8)  # rows double as uint64 word views
         x = np.zeros((self.num_qubits, padded), dtype=np.uint8)
@@ -297,6 +321,8 @@ class PeriodicProgram:
         detectors = np.zeros((self.num_detectors, padded), dtype=np.uint8)
         observables = np.zeros((self.num_observables, padded), dtype=np.uint8)
         self._scatter_records(detectors, observables, flips)
+        if _metrics.enabled():
+            _REPLAY_SECONDS.inc(time.perf_counter() - replay_start)
         return detectors[:, :words], observables[:, :words]
 
     def _scatter_records(
@@ -392,17 +418,28 @@ register_cache("repro.sim.periodic.compile_program", _PROGRAM_CACHE)
 
 
 def _compile_uncached(circuit: Circuit, mode: str) -> Program:
-    if mode == "linear":
-        return CompiledProgram(circuit)
-    spec = detect_period(circuit)
-    if spec is not None:
-        return PeriodicProgram(circuit, spec)
-    if mode == "periodic":
-        raise ValueError(
-            "compile mode 'periodic' requires a repeated round, but "
-            "detect_period found none"
-        )
-    return CompiledProgram(circuit)
+    start = time.perf_counter()
+    with span("periodic.compile", mode=mode):
+        if mode == "linear":
+            program: Program = CompiledProgram(circuit)
+            kind = "linear"
+        else:
+            spec = detect_period(circuit)
+            if spec is not None:
+                program = PeriodicProgram(circuit, spec)
+                kind = "periodic"
+            elif mode == "periodic":
+                raise ValueError(
+                    "compile mode 'periodic' requires a repeated round, but "
+                    "detect_period found none"
+                )
+            else:
+                program = CompiledProgram(circuit)
+                kind = "linear_fallback"
+    if _metrics.enabled():
+        _COMPILES.labels(kind=kind).inc()
+        _COMPILE_SECONDS.labels(kind=kind).inc(time.perf_counter() - start)
+    return program
 
 
 def compile_program(circuit: Circuit, mode: str = "auto") -> Program:

@@ -144,6 +144,38 @@ class TestWorkerStateRule:
         assert diags == []
 
 
+class TestPrintBan:
+    def test_bare_print_is_an_error(self, tmp_path):
+        diags = _lint_snippet(tmp_path, """
+            def report(x):
+                print(x)
+        """)
+        assert [d.severity for d in diags] == ["error"]
+        assert "repro.obs.echo" in diags[0].message
+
+    def test_main_entry_point_is_exempt(self, tmp_path):
+        path = tmp_path / "__main__.py"
+        path.write_text("print('usage: ...')\n")
+        assert lint_file(path) == []
+
+    def test_echo_and_logging_are_clean(self, tmp_path):
+        diags = _lint_snippet(tmp_path, """
+            from repro.obs import echo, get_logger
+            def report(x):
+                echo(str(x))
+                get_logger(__name__).debug("detail %s", x)
+        """)
+        assert diags == []
+
+    def test_method_named_print_is_clean(self, tmp_path):
+        # Only the builtin: attribute calls like device.print() pass.
+        diags = _lint_snippet(tmp_path, """
+            def flush(device):
+                device.print()
+        """)
+        assert diags == []
+
+
 class TestLintFile:
     def test_syntax_error_becomes_a_diagnostic(self, tmp_path):
         path = tmp_path / "broken.py"

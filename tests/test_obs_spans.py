@@ -1,0 +1,162 @@
+"""Span/tracing tests: the no-op contract, Chrome trace export, tree render.
+
+The disabled path is the one every production run takes, so its contract
+is load-bearing: ``span()`` must return the *shared* null object (no
+allocation, no timestamps) and ``traced`` functions must call straight
+through.  The enabled path must emit Chrome trace-event JSON that
+Perfetto accepts: complete ("X") events with microsecond ts/dur and a
+depth arg that reconstructs nesting.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    clear_trace,
+    disable_tracing,
+    enable_tracing,
+    render_trace_tree,
+    span,
+    trace_events,
+    traced,
+    tracing_enabled,
+    write_trace,
+)
+
+
+@pytest.fixture
+def tracing():
+    """Enable tracing for the test; always restore the disabled default."""
+    enable_tracing()
+    try:
+        yield
+    finally:
+        disable_tracing()
+        clear_trace()
+
+
+@pytest.fixture(autouse=True)
+def _ensure_disabled_after():
+    yield
+    disable_tracing()
+    clear_trace()
+
+
+# -- disabled: the no-op contract -----------------------------------------------
+
+
+def test_disabled_span_is_shared_noop():
+    assert not tracing_enabled()
+    assert span("a") is span("b", key="value")
+    with span("a") as s:
+        s.set(extra=1)  # accepted and dropped
+    assert trace_events() == []
+
+
+def test_disabled_traced_calls_through():
+    @traced
+    def add(a, b):
+        return a + b
+
+    assert add(2, 3) == 5
+    assert trace_events() == []
+
+
+# -- enabled: event structure ---------------------------------------------------
+
+
+def test_span_records_complete_event(tracing):
+    with span("work", shots=100):
+        pass
+    (event,) = trace_events()
+    assert event["name"] == "work"
+    assert event["ph"] == "X"
+    assert event["dur"] >= 0
+    assert event["args"]["shots"] == 100
+    assert event["args"]["depth"] == 0
+    assert isinstance(event["pid"], int) and isinstance(event["tid"], int)
+
+
+def test_nested_spans_track_depth(tracing):
+    with span("outer"):
+        with span("inner"):
+            pass
+        with span("inner"):
+            pass
+    by_name = {}
+    for event in trace_events():
+        by_name.setdefault(event["name"], []).append(event["args"]["depth"])
+    assert by_name == {"inner": [1, 1], "outer": [0]}
+
+
+def test_span_set_updates_args(tracing):
+    with span("work") as s:
+        s.set(result="ok")
+    (event,) = trace_events()
+    assert event["args"]["result"] == "ok"
+
+
+def test_traced_decorator_named_and_bare(tracing):
+    @traced("custom.name")
+    def f():
+        return 1
+
+    @traced
+    def g():
+        return 2
+
+    assert f() == 1 and g() == 2
+    names = [event["name"] for event in trace_events()]
+    assert "custom.name" in names
+    assert any(name.endswith("g") for name in names)
+
+
+def test_write_trace_json(tracing, tmp_path):
+    with span("outer"):
+        with span("inner"):
+            pass
+    path = tmp_path / "trace.json"
+    written = write_trace(str(path))
+    assert written == str(path)
+    payload = json.loads(path.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    assert {e["name"] for e in payload["traceEvents"]} == {"outer", "inner"}
+    for event in payload["traceEvents"]:
+        assert event["ph"] == "X"
+        assert set(event) >= {"name", "ts", "dur", "pid", "tid", "args"}
+
+
+def test_write_trace_without_path_is_noop():
+    # Not armed with a path and none given: nothing to write.
+    assert write_trace() is None
+
+
+def test_enable_tracing_clears_previous_events(tracing):
+    with span("old"):
+        pass
+    enable_tracing()
+    assert trace_events() == []
+
+
+# -- text tree ------------------------------------------------------------------
+
+
+def test_render_trace_tree_aggregates_siblings(tracing):
+    with span("run"):
+        for _ in range(3):
+            with span("shard"):
+                pass
+    tree = render_trace_tree()
+    assert "run" in tree
+    assert "shard  x3" in tree
+    # Children indent under their parent.
+    run_line = next(line for line in tree.splitlines() if "run" in line)
+    shard_line = next(line for line in tree.splitlines() if "shard" in line)
+    assert len(shard_line) - len(shard_line.lstrip()) > len(run_line) - len(
+        run_line.lstrip()
+    )
+
+
+def test_render_trace_tree_empty():
+    assert render_trace_tree() == "(no spans recorded)"

@@ -28,6 +28,7 @@ from repro.estimator.serialize import (
     finite,
     parse_override_value,
 )
+from repro.obs import parse_prometheus
 from repro.service.client import ServiceError, local_service
 from repro.service.jobs import JobEngine, JobError
 from repro.service.store import (
@@ -507,6 +508,46 @@ class TestHTTPApi:
         assert {"hits", "misses", "puts"} <= set(stats["store"])
         assert {"submitted", "coalesced", "computed"} <= set(stats["jobs"])
         assert any("timing_model" in name for name in stats["cache"])
+
+    def test_stats_reports_latency_percentiles(self, service_client):
+        service_client.healthz()  # ensure at least one timed request
+        metrics = service_client.stats()["metrics"]
+        assert metrics["enabled"] is True
+        assert set(metrics) >= {
+            "decode_seconds_p50",
+            "decode_seconds_p99",
+            "request_seconds_p50",
+            "request_seconds_p99",
+        }
+        # The stats request itself may be the first; the healthz above
+        # guarantees the request histogram has an observation by now.
+        p50 = metrics["request_seconds_p50"]
+        assert p50 is None or p50 >= 0
+
+    def test_metrics_endpoint_is_valid_prometheus(self, service_client):
+        import repro.decoder.base  # noqa: F401 -- declare decoder families
+        import repro.decoder.engine  # noqa: F401 -- declare engine families
+
+        service_client.healthz()  # populate the request-latency series
+        text = service_client.metrics()
+        families = parse_prometheus(text)
+        for name in (
+            "repro_engine_shots_total",  # engine
+            "repro_decode_seconds",  # decoder latency histogram
+            "repro_cache_hits",  # cache collector
+            "repro_jobs_queue_depth",  # job-engine collector
+            "repro_store_entries",  # store collector
+            "repro_http_request_seconds",  # request latency
+            "repro_http_requests_total",
+        ):
+            assert name in families, f"{name} missing from /metrics"
+        requests = families["repro_http_requests_total"]["samples"]
+        assert any(
+            labels.get("endpoint") == "healthz" and labels.get("status") == "200"
+            for _, labels, _ in requests
+        )
+        latency = families["repro_http_request_seconds"]["samples"]
+        assert any(name.endswith("_bucket") for name, _, _ in latency)
 
 
 # -- CLI warm start ------------------------------------------------------------
