@@ -45,9 +45,11 @@ from repro.analysis import (  # noqa: F401  (self-registration)
     dem_passes,
     periodic_passes,
     registry_passes,
+    reweight_passes,
 )
 from repro.analysis.dem_passes import check_dem, check_graph
 from repro.analysis.periodic_passes import check_dem_periodicity
+from repro.analysis.reweight_passes import check_reweight
 from repro.analysis.source_lint import lint_file, lint_source
 
 __all__ = [
@@ -62,6 +64,7 @@ __all__ = [
     "check_dem",
     "check_dem_periodicity",
     "check_graph",
+    "check_reweight",
     "get_pass",
     "lint_file",
     "lint_source",

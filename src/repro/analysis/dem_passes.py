@@ -55,6 +55,15 @@ def check_dem(dem: "DetectorErrorModel") -> List[Diagnostic]:
                 f"mechanism {k} {mech.detectors} has zero probability "
                 f"(dead weight; merged() would drop it)",
             ))
+        elif mech.probability > 0.5:
+            # An LLR edge weight log((1-p)/p) goes negative above 0.5,
+            # inverting the matching metric; reweighted proposals
+            # (DetectorErrorModel.reweighted) must cap at 0.5.
+            diags.append(Diagnostic(
+                "error", _PASS,
+                f"mechanism {k} probability {mech.probability} exceeds 0.5 "
+                f"(negative LLR weight; over-inflated reweighting?)",
+            ))
         if not mech.detectors and mech.observables:
             diags.append(Diagnostic(
                 "warning", _PASS,

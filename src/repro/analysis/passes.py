@@ -104,6 +104,7 @@ def _ensure_loaded() -> None:
     import repro.analysis.dem_passes  # noqa: F401
     import repro.analysis.periodic_passes  # noqa: F401
     import repro.analysis.registry_passes  # noqa: F401
+    import repro.analysis.reweight_passes  # noqa: F401
 
 
 def available_passes(scope: Optional[str] = None) -> Tuple[str, ...]:

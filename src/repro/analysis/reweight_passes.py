@@ -1,0 +1,120 @@
+"""Reweighted-DEM proposal checks: the ``dem_reweight`` pass.
+
+The rare-event sampler (:mod:`repro.estimator.rare`) draws mechanism
+firings from a *reweighted* copy of a circuit's DEM and corrects each shot
+with a likelihood-ratio weight under the original model.  That estimator
+is exact only when the (original, proposal) pair is well formed:
+
+* **Topology preserved** -- same mechanism count, same per-mechanism
+  detector/observable symptoms, same detector/observable space.  A
+  proposal that drops or re-symptoms a mechanism samples a *different*
+  error process; the weights cannot repair that.
+* **Probabilities in (0, 0.5]** -- above 0.5 the mechanism's LLR decoding
+  weight goes negative (also an error in ``dem_consistency``); at or below
+  0 for a mechanism the original can fire, the proposal has no support
+  where the target distribution does, so the importance estimate is
+  silently *biased low* -- the exact failure mode a static check exists
+  to catch before any shot is drawn.
+
+:func:`check_reweight` is a plain function over the pair so the sampler's
+construction gate can run it without a circuit in hand; the registered
+``dem_reweight`` pass applies a representative inflation
+(:data:`LINT_INFLATION`) to a scenario circuit's own DEM, which is how
+``python -m repro lint --all`` proves every registered scenario's model
+survives reweighting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.passes import PassContext, register_pass
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.noise.dem import DetectorErrorModel
+
+_PASS = "dem_reweight"
+
+# Representative proposal inflation the registered pass applies: large
+# enough to exercise the 0.5 cap on any realistic circuit-level channel,
+# small enough to stay a plausible rare-event proposal.
+LINT_INFLATION = 8.0
+
+
+def check_reweight(
+    original: "DetectorErrorModel", proposal: "DetectorErrorModel"
+) -> List[Diagnostic]:
+    """Diagnostics for one (original DEM, reweighted proposal) pair."""
+    diags: List[Diagnostic] = []
+    if (
+        proposal.num_detectors != original.num_detectors
+        or proposal.num_observables != original.num_observables
+    ):
+        diags.append(Diagnostic(
+            "error", _PASS,
+            f"proposal symptom space ({proposal.num_detectors} detectors, "
+            f"{proposal.num_observables} observables) differs from the "
+            f"original ({original.num_detectors}, "
+            f"{original.num_observables})",
+        ))
+    if len(proposal.mechanisms) != len(original.mechanisms):
+        diags.append(Diagnostic(
+            "error", _PASS,
+            f"proposal has {len(proposal.mechanisms)} mechanisms, original "
+            f"has {len(original.mechanisms)}: reweighting must preserve the "
+            f"mechanism list one-for-one",
+        ))
+        return diags
+    for k, (orig, prop) in enumerate(
+        zip(original.mechanisms, proposal.mechanisms)
+    ):
+        if (prop.detectors, prop.observables) != (
+            orig.detectors, orig.observables
+        ):
+            diags.append(Diagnostic(
+                "error", _PASS,
+                f"mechanism {k} symptom changed under reweighting: "
+                f"{(orig.detectors, orig.observables)} -> "
+                f"{(prop.detectors, prop.observables)}; the proposal "
+                f"samples a different error process",
+            ))
+            continue
+        if orig.probability > 0.0 and prop.probability <= 0.0:
+            diags.append(Diagnostic(
+                "error", _PASS,
+                f"mechanism {k} has zero proposal weight (q={prop.probability}"
+                f" for p={orig.probability:.2e}): firings possible under the "
+                f"original model are unsampleable, biasing the estimate low",
+            ))
+        elif prop.probability > 0.5:
+            diags.append(Diagnostic(
+                "error", _PASS,
+                f"mechanism {k} proposal probability {prop.probability} "
+                f"exceeds 0.5 (negative LLR weight; cap the inflation)",
+            ))
+        elif orig.probability <= 0.0 and prop.probability > 0.0:
+            diags.append(Diagnostic(
+                "warning", _PASS,
+                f"mechanism {k} inflates a zero-probability mechanism to "
+                f"q={prop.probability:.2e}: every firing carries weight 0 "
+                f"(wasted proposal mass)",
+            ))
+    return diags
+
+
+def dem_reweight(ctx: PassContext) -> Iterator[Diagnostic]:
+    """Reweight the circuit's own DEM and check the resulting pair.
+
+    Mirrors ``dem_consistency``'s error handling: an extraction failure
+    surfaces as a diagnostic instead of propagating.
+    """
+    try:
+        dem = ctx.dem()
+    except Exception as exc:
+        yield Diagnostic("error", _PASS, f"DEM extraction failed: {exc}")
+        return
+    yield from check_reweight(dem, dem.reweighted(LINT_INFLATION))
+
+
+register_pass("dem_reweight", dem_reweight)

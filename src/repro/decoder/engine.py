@@ -28,17 +28,29 @@ throughput-oriented:
   :meth:`DecodingEngine.close`).
 * **Streaming early-stop** -- :meth:`DecodingEngine.run_until` keeps
   drawing shard batches until a target failure count or a shot cap is
-  reached, so sweeps spend shots where failures are rare instead of using
-  one fixed count everywhere.  The stopping rule is evaluated on the
-  shard-ordered prefix, keeping it deterministic under parallelism.
+  reached, and :meth:`DecodingEngine.run_until_rel_error` until the
+  (weighted) estimate's relative standard error is tight enough, so
+  sweeps spend shots where failures are rare instead of using one fixed
+  count everywhere.  Both stopping rules are evaluated on the
+  shard-ordered prefix, keeping them deterministic under parallelism.
+* **Weighted estimation** -- an engine built with an importance
+  ``sampler`` (see :mod:`repro.estimator.rare`) draws shots from a
+  reweighted proposal model and ships per-shot likelihood-ratio weight
+  sums home with each shard, exactly like the shard metric deltas; the
+  :class:`EngineResult` then estimates the failure probability as a
+  weighted mean under the *original* model (``weighted_rate``), with a
+  variance and effective sample size, still bit-identical for any worker
+  count.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from statistics import NormalDist
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -82,6 +94,15 @@ _ENGINE_DECODE_SECONDS = _metrics.counter(
 _ENGINE_THROUGHPUT = _metrics.gauge(
     "repro_engine_last_shots_per_second",
     "Throughput of the most recent DecodingEngine.run call.",
+)
+_ENGINE_ESS_RATIO = _metrics.gauge(
+    "repro_engine_last_ess_ratio",
+    "Effective-sample-size fraction (ESS/shots) of the most recent "
+    "importance-sampled engine run.",
+)
+_ENGINE_WEIGHT_VARIANCE = _metrics.gauge(
+    "repro_engine_last_weight_variance",
+    "Importance-weight variance of the most recent weighted engine run.",
 )
 
 # -- decoder registry ----------------------------------------------------------
@@ -163,15 +184,192 @@ register_decoder("sequential", _make_sequential)
 
 @dataclass(frozen=True)
 class EngineResult:
-    """Aggregate outcome of one engine run."""
+    """Aggregate outcome of one engine run.
+
+    For uniform (brute-force) runs the weighted fields are derived from
+    the raw counts in ``__post_init__`` -- every shot has weight 1, so
+    ``weighted_rate == rate`` and ``ess == shots``.  Importance-sampled
+    runs (an engine built with a ``sampler``) fill them with the
+    likelihood-ratio sums shipped home per shard:
+
+    * ``weighted_failures`` -- sum over failing shots of the shot weight
+      ``w_i`` (the unbiased failure-count mass under the original model);
+    * ``weighted_failures_sq`` -- sum over failing shots of ``w_i**2``
+      (second moment, feeding :attr:`variance`);
+    * ``weight_sum`` / ``weight_sq_sum`` -- sums of ``w_i`` and
+      ``w_i**2`` over *all* shots (feeding :attr:`ess`).
+
+    ``shots_beyond_stop`` counts shots an early-stop run sampled beyond
+    the counted prefix (see :meth:`DecodingEngine.run_until`); it is 0
+    for fixed-shot runs and, unlike every other field, depends on the
+    worker count (the in-flight wave is ``workers`` shards wide).
+    """
 
     shots: int
     failures: int
     shards: int
+    weighted_failures: float = None  # type: ignore[assignment]
+    weighted_failures_sq: float = None  # type: ignore[assignment]
+    weight_sum: float = None  # type: ignore[assignment]
+    weight_sq_sum: float = None  # type: ignore[assignment]
+    shots_beyond_stop: int = 0
+
+    def __post_init__(self) -> None:
+        # Uniform-weight defaults: w_i = 1 for every shot makes the
+        # weighted fields exact functions of the integer counts.
+        if self.weighted_failures is None:
+            object.__setattr__(self, "weighted_failures", float(self.failures))
+        if self.weighted_failures_sq is None:
+            object.__setattr__(
+                self, "weighted_failures_sq", float(self.failures)
+            )
+        if self.weight_sum is None:
+            object.__setattr__(self, "weight_sum", float(self.shots))
+        if self.weight_sq_sum is None:
+            object.__setattr__(self, "weight_sq_sum", float(self.shots))
 
     @property
     def rate(self) -> float:
+        """Raw failure fraction of the *sampled* shots (proposal model)."""
         return self.failures / self.shots if self.shots else 0.0
+
+    @property
+    def weighted_rate(self) -> float:
+        """Unbiased failure-probability estimate under the original model.
+
+        The mean of ``w_i * fail_i``; equals :attr:`rate` for uniform
+        runs.
+        """
+        return self.weighted_failures / self.shots if self.shots else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance of :attr:`weighted_rate` (the estimator itself,
+        not the per-shot population): ``s^2 / n`` with the usual unbiased
+        ``s^2`` over the per-shot values ``w_i * fail_i``."""
+        n = self.shots
+        if n == 0:
+            return 0.0
+        if n == 1:
+            return math.inf
+        mean = self.weighted_failures / n
+        centered = self.weighted_failures_sq - n * mean * mean
+        return max(centered, 0.0) / ((n - 1) * n)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of :attr:`weighted_rate`."""
+        return math.sqrt(self.variance)
+
+    @property
+    def rel_error(self) -> float:
+        """``std_error / weighted_rate`` (``inf`` until a failure is seen)."""
+        rate = self.weighted_rate
+        return self.std_error / rate if rate > 0 else math.inf
+
+    @property
+    def ess(self) -> float:
+        """Kish effective sample size ``(sum w)^2 / sum w^2``.
+
+        Equals ``shots`` for uniform weights; a small ``ess / shots``
+        fraction means a few heavy weights dominate the estimate and the
+        proposal inflation should be reduced.
+        """
+        return (
+            self.weight_sum * self.weight_sum / self.weight_sq_sum
+            if self.weight_sq_sum > 0
+            else 0.0
+        )
+
+    def failure_rate_ci(self, level: float = 0.95) -> Tuple[float, float]:
+        """Wilson score confidence interval for the failure probability.
+
+        Uniform runs get the classical binomial interval on
+        ``(failures, shots)``.  Weighted runs use the effective binomial
+        ``(weighted_rate, ess)``: the interval a uniform run of ``ess``
+        shots at the same estimate would have, which is the standard
+        weighted-sample approximation.  Unlike the normal interval, the
+        Wilson interval stays informative at zero observed failures
+        (upper bound ~ ``z^2 / n``), which is what the adaptive budget
+        allocator relies on to stop feeding converged zero-failure
+        points.
+        """
+        if not 0.0 < level < 1.0:
+            raise ValueError("level must be in (0, 1)")
+        n = self.ess
+        if n <= 0:
+            return (0.0, 1.0)
+        p = min(max(self.weighted_rate, 0.0), 1.0)
+        z = NormalDist().inv_cdf(0.5 + level / 2.0)
+        denom = 1.0 + z * z / n
+        center = (p + z * z / (2.0 * n)) / denom
+        half = (z / denom) * math.sqrt(
+            p * (1.0 - p) / n + z * z / (4.0 * n * n)
+        )
+        return (max(center - half, 0.0), min(center + half, 1.0))
+
+    def __add__(self, other: "EngineResult") -> "EngineResult":
+        """Merge two runs' sufficient statistics (order-independent)."""
+        if not isinstance(other, EngineResult):
+            return NotImplemented
+        return EngineResult(
+            shots=self.shots + other.shots,
+            failures=self.failures + other.failures,
+            shards=self.shards + other.shards,
+            weighted_failures=self.weighted_failures + other.weighted_failures,
+            weighted_failures_sq=(
+                self.weighted_failures_sq + other.weighted_failures_sq
+            ),
+            weight_sum=self.weight_sum + other.weight_sum,
+            weight_sq_sum=self.weight_sq_sum + other.weight_sq_sum,
+            shots_beyond_stop=self.shots_beyond_stop + other.shots_beyond_stop,
+        )
+
+
+class _ShardStats(NamedTuple):
+    """Sufficient statistics one shard ships home (sums in shard order)."""
+
+    shots: int
+    failures: int
+    weighted_failures: float
+    weighted_failures_sq: float
+    weight_sum: float
+    weight_sq_sum: float
+
+
+def _as_result(stats: _ShardStats) -> EngineResult:
+    return EngineResult(
+        shots=stats.shots,
+        failures=stats.failures,
+        shards=1,
+        weighted_failures=stats.weighted_failures,
+        weighted_failures_sq=stats.weighted_failures_sq,
+        weight_sum=stats.weight_sum,
+        weight_sq_sum=stats.weight_sq_sum,
+    )
+
+
+def _sum_stats(results: Sequence[_ShardStats]) -> EngineResult:
+    # Left-to-right accumulation in shard (spawn) order: the float sums
+    # come out bit-identical for any worker count.
+    shots = failures = 0
+    wf = wfsq = ws = wsq = 0.0
+    for stats in results:
+        shots += stats.shots
+        failures += stats.failures
+        wf += stats.weighted_failures
+        wfsq += stats.weighted_failures_sq
+        ws += stats.weight_sum
+        wsq += stats.weight_sq_sum
+    return EngineResult(
+        shots=shots,
+        failures=failures,
+        shards=len(results),
+        weighted_failures=wf,
+        weighted_failures_sq=wfsq,
+        weight_sum=ws,
+        weight_sq_sum=wsq,
+    )
 
 
 # Per-worker state, installed once by the pool initializer so shard tasks
@@ -186,27 +384,78 @@ def _worker_init(
     packed: bool,
     sim: Optional[FrameSimulator] = None,
     compile_mode: str = "auto",
+    sampler=None,
 ) -> None:
-    _WORKER["sim"] = (
-        sim if sim is not None
-        else FrameSimulator(circuit, compile_mode=compile_mode)
-    )
+    # An importance-sampled engine never touches the circuit simulator in
+    # its shard loop, so workers skip building one.
+    if sim is not None:
+        _WORKER["sim"] = sim
+    elif sampler is not None:
+        _WORKER["sim"] = None
+    else:
+        _WORKER["sim"] = FrameSimulator(circuit, compile_mode=compile_mode)
     _WORKER["decoder"] = decoder
     _WORKER["observable"] = observable
     _WORKER["packed"] = packed
+    _WORKER["sampler"] = sampler
     _WORKER["num_detectors"] = circuit.num_detectors
     _WORKER["num_observables"] = circuit.num_observables
 
 
-def _run_shard(task: Tuple[int, np.random.SeedSequence]) -> Tuple[int, int]:
-    """Sample + decode one shard; returns (shots, failures)."""
+def _shard_failures(predictions, observables, observable):
+    if observable is None:
+        return (predictions ^ observables).any(axis=1)
+    return (
+        predictions[:, observable] ^ observables[:, observable]
+    ).astype(bool)
+
+
+def _run_shard(task: Tuple[int, np.random.SeedSequence]) -> _ShardStats:
+    """Sample + decode one shard; returns its :class:`_ShardStats` sums."""
     shots, seed_seq = task
-    sim: FrameSimulator = _WORKER["sim"]
+    sim: Optional[FrameSimulator] = _WORKER["sim"]
     decoder: Decoder = _WORKER["decoder"]
     observable: Optional[int] = _WORKER["observable"]
+    sampler = _WORKER.get("sampler")
     rng = np.random.default_rng(seed_seq)
     metered = _metrics.enabled()
     with span("engine.shard", shots=shots):
+        if sampler is not None:
+            # Importance path: shots come from the reweighted DEM proposal
+            # (already in the packed dedup-key layout), each with a
+            # log-likelihood-ratio under the original model.  The shard
+            # ships weight *sums*, accumulated in shard order -- the same
+            # protocol that keeps the metric deltas worker-count
+            # invariant.
+            start = time.perf_counter() if metered else 0.0
+            det_keys, obs_keys, log_weights = sampler.sample_weighted(
+                shots, rng
+            )
+            if metered:
+                mid = time.perf_counter()
+                _ENGINE_SAMPLE_SECONDS.inc(mid - start)
+            predictions = decoder.decode_packed(
+                det_keys, _WORKER["num_detectors"]
+            )
+            if metered:
+                _ENGINE_DECODE_SECONDS.inc(time.perf_counter() - mid)
+                _ENGINE_SHARDS.inc()
+            num_obs = _WORKER["num_observables"]
+            if num_obs:
+                observables = np.unpackbits(obs_keys, axis=1, count=num_obs)
+            else:
+                observables = np.zeros((shots, 0), dtype=np.uint8)
+            wrong = _shard_failures(predictions, observables, observable)
+            weights = np.exp(log_weights)
+            failing = weights[wrong]
+            return _ShardStats(
+                shots=shots,
+                failures=int(wrong.sum()),
+                weighted_failures=float(failing.sum()),
+                weighted_failures_sq=float(np.square(failing).sum()),
+                weight_sum=float(weights.sum()),
+                weight_sq_sum=float(np.square(weights).sum()),
+            )
         if _WORKER["packed"]:
             # Packed end to end: sampling emits bit-packed per-shot keys
             # that the decoder dedups directly; only the tiny observable
@@ -235,13 +484,18 @@ def _run_shard(task: Tuple[int, np.random.SeedSequence]) -> Tuple[int, int]:
             predictions = decoder.decode_batch(detectors)
             if metered:
                 _ENGINE_DECODE_SECONDS.inc(time.perf_counter() - mid)
-        if observable is None:
-            wrong = (predictions ^ observables).any(axis=1)
-        else:
-            wrong = predictions[:, observable] ^ observables[:, observable]
+        wrong = _shard_failures(predictions, observables, observable)
         if metered:
             _ENGINE_SHARDS.inc()
-        return shots, int(np.sum(wrong))
+        failures = int(np.sum(wrong))
+        return _ShardStats(
+            shots=shots,
+            failures=failures,
+            weighted_failures=float(failures),
+            weighted_failures_sq=float(failures),
+            weight_sum=float(shots),
+            weight_sq_sum=float(shots),
+        )
 
 
 def _collect_shard(
@@ -314,6 +568,16 @@ class DecodingEngine:
             :mod:`repro.sim.periodic`).  All modes are bit-identical per
             seed; programs are memoized per circuit fingerprint, so
             repeated engines and ``run_until`` batches never recompile.
+        sampler: optional importance sampler (an object with
+            ``sample_weighted(shots, rng) -> (det_keys, obs_keys,
+            log_weights)`` in the packed dedup-key layout, e.g.
+            :class:`repro.estimator.rare.ImportanceSampler`).  When given,
+            shards draw from the sampler's reweighted proposal instead of
+            simulating the circuit, and results carry likelihood-ratio
+            weight sums so ``EngineResult.weighted_rate`` estimates the
+            failure probability under the *original* model.  The decoder
+            still decodes against the original DEM.  ``collect`` is
+            unavailable in this mode.
 
     The engine keeps one persistent worker pool alive across ``run`` /
     ``run_until`` calls (spawning a pool ships the circuit and decoder to
@@ -334,6 +598,7 @@ class DecodingEngine:
         workers: int = 1,
         packed: bool = True,
         compile_mode: str = "auto",
+        sampler=None,
     ) -> None:
         if shard_shots < 1:
             raise ValueError("shard_shots must be >= 1")
@@ -345,6 +610,7 @@ class DecodingEngine:
         self.workers = workers
         self.packed = packed
         self.compile_mode = compile_mode
+        self.sampler = sampler
         self._pool = None
         # One simulator for serial execution and DEM extraction: its
         # compiled program is fetched once (fingerprint-memoized) and
@@ -410,13 +676,13 @@ class DecodingEngine:
             start = time.perf_counter()
             results = self._execute(tasks)
             elapsed = time.perf_counter() - start
-        total = sum(s for s, _ in results)
-        failures = sum(f for _, f in results)
-        _ENGINE_SHOTS.inc(total)
-        _ENGINE_FAILURES.inc(failures)
+        result = _sum_stats(results)
+        _ENGINE_SHOTS.inc(result.shots)
+        _ENGINE_FAILURES.inc(result.failures)
         if elapsed > 0:
-            _ENGINE_THROUGHPUT.set(total / elapsed)
-        return EngineResult(shots=total, failures=failures, shards=len(tasks))
+            _ENGINE_THROUGHPUT.set(result.shots / elapsed)
+        self._observe_weighted(result)
+        return result
 
     def run_until(
         self,
@@ -431,36 +697,131 @@ class DecodingEngine:
         worker count: the run covers every shard up to and including the
         first one at which the cumulative failure count reaches
         ``target_failures`` (or cumulative shots reach ``max_shots``).
+
+        Stop-boundary contract: each wave dispatches up to ``workers``
+        shards at once, and every dispatched shard runs to completion
+        even when an earlier shard of the same wave already satisfies the
+        stop condition -- the engine *samples* beyond the stop, but the
+        counted result never includes those shards.  The overshoot is
+        reported as ``EngineResult.shots_beyond_stop`` so budget
+        accounting (wall-clock, draws from the entropy stream) is exact.
+        Unlike the counted fields, ``shots_beyond_stop`` depends on the
+        worker count, because the wave width is ``workers`` shards.
         """
         if target_failures < 1:
             raise ValueError("target_failures must be >= 1")
         if max_shots < 1:
             raise ValueError("max_shots must be >= 1")
-        root = _as_seed_sequence(seed)
-        shots_done = 0
-        failures = 0
-        shards = 0
         with span(
             "engine.run_until",
             target_failures=target_failures,
             max_shots=max_shots,
         ):
-            while shots_done < max_shots and failures < target_failures:
-                sizes = self._next_wave_sizes(max_shots - shots_done)
-                tasks = list(zip(sizes, root.spawn(len(sizes))))
-                results = self._execute(tasks)
-                for shard_shots, shard_failures in results:
-                    shots_done += shard_shots
-                    failures += shard_failures
-                    shards += 1
-                    if failures >= target_failures or shots_done >= max_shots:
-                        break
-                else:
-                    continue
-                break
-        _ENGINE_SHOTS.inc(shots_done)
-        _ENGINE_FAILURES.inc(failures)
-        return EngineResult(shots=shots_done, failures=failures, shards=shards)
+            result = self._run_streaming(
+                lambda res: res.failures >= target_failures, max_shots, seed
+            )
+        low, high = result.failure_rate_ci()
+        _LOG.debug(
+            "run_until(%d): %d/%d failures, rate %.3g "
+            "(95%% CI [%.3g, %.3g]), %d shots beyond stop",
+            target_failures, result.failures, result.shots, result.rate,
+            low, high, result.shots_beyond_stop,
+        )
+        return result
+
+    def run_until_rel_error(
+        self,
+        target_rel_err: float,
+        max_shots: int,
+        seed: SeedLike = 0,
+        *,
+        min_failures: int = 5,
+    ) -> EngineResult:
+        """Stream shard batches until the estimate is tight enough.
+
+        Stops at the first shard (in spawn order, so worker-count
+        invariant) where at least ``min_failures`` failures have been
+        seen *and* ``EngineResult.rel_error`` -- the standard error of
+        the weighted failure estimate divided by the estimate -- is at
+        most ``target_rel_err``; ``max_shots`` caps the run either way.
+        For a uniform engine this is a binomial precision target; for an
+        importance-sampled engine it is the natural stopping rule,
+        because the weighted variance (not the raw failure count) is
+        what a precision claim rests on.  The stop-boundary contract of
+        :meth:`run_until` applies unchanged, including
+        ``shots_beyond_stop``.
+        """
+        if not target_rel_err > 0:
+            raise ValueError("target_rel_err must be > 0")
+        if max_shots < 1:
+            raise ValueError("max_shots must be >= 1")
+        if min_failures < 1:
+            raise ValueError("min_failures must be >= 1")
+        with span(
+            "engine.run_until_rel_error",
+            target_rel_err=target_rel_err,
+            max_shots=max_shots,
+        ):
+            result = self._run_streaming(
+                lambda res: (
+                    res.failures >= min_failures
+                    and res.rel_error <= target_rel_err
+                ),
+                max_shots,
+                seed,
+            )
+        _LOG.debug(
+            "run_until_rel_error(%.3g): rate %.3g +- %.3g after %d shots "
+            "(ESS %.0f, %d beyond stop)",
+            target_rel_err, result.weighted_rate, result.std_error,
+            result.shots, result.ess, result.shots_beyond_stop,
+        )
+        return result
+
+    def _run_streaming(
+        self,
+        should_stop: Callable[[EngineResult], bool],
+        max_shots: int,
+        seed: SeedLike,
+    ) -> EngineResult:
+        """Wave loop shared by the early-stop runs (prefix-deterministic)."""
+        root = _as_seed_sequence(seed)
+        acc = EngineResult(shots=0, failures=0, shards=0)
+        beyond = 0
+        stopped = False
+        while not stopped and acc.shots < max_shots:
+            sizes = self._next_wave_sizes(max_shots - acc.shots)
+            tasks = list(zip(sizes, root.spawn(len(sizes))))
+            results = self._execute(tasks)
+            for index, stats in enumerate(results):
+                acc = acc + _as_result(stats)
+                if should_stop(acc) or acc.shots >= max_shots:
+                    beyond = sum(sizes[index + 1:])
+                    stopped = True
+                    break
+        _ENGINE_SHOTS.inc(acc.shots)
+        _ENGINE_FAILURES.inc(acc.failures)
+        result = EngineResult(
+            shots=acc.shots,
+            failures=acc.failures,
+            shards=acc.shards,
+            weighted_failures=acc.weighted_failures,
+            weighted_failures_sq=acc.weighted_failures_sq,
+            weight_sum=acc.weight_sum,
+            weight_sq_sum=acc.weight_sq_sum,
+            shots_beyond_stop=beyond,
+        )
+        self._observe_weighted(result)
+        return result
+
+    def _observe_weighted(self, result: EngineResult) -> None:
+        if self.sampler is None or not result.shots or not _metrics.enabled():
+            return
+        _ENGINE_ESS_RATIO.set(result.ess / result.shots)
+        mean_weight = result.weight_sum / result.shots
+        _ENGINE_WEIGHT_VARIANCE.set(
+            max(result.weight_sq_sum / result.shots - mean_weight ** 2, 0.0)
+        )
 
     def collect(
         self, shots: int, seed: SeedLike = 0
@@ -478,6 +839,12 @@ class DecodingEngine:
             (shots, ceil(num_observables/8)), one bit-packed row per shot
             (the dedup-key layout ``decode_packed`` consumes).
         """
+        if self.sampler is not None:
+            raise ValueError(
+                "collect() is unavailable on an importance-sampled engine: "
+                "the sampler draws from the reweighted proposal model, not "
+                "the circuit"
+            )
         if shots < 0:
             raise ValueError("shots must be >= 0")
         det_width = (self.circuit.num_detectors + 7) // 8
@@ -519,7 +886,7 @@ class DecodingEngine:
                 initializer=_worker_init,
                 initargs=(
                     self.circuit, self.decoder, self.observable, self.packed,
-                    None, self.compile_mode,
+                    None, self.compile_mode, self.sampler,
                 ),
             )
         return self._pool
@@ -528,7 +895,7 @@ class DecodingEngine:
         if self.workers <= 1:
             _worker_init(
                 self.circuit, self.decoder, self.observable, self.packed,
-                sim=self._sim,
+                sim=self._sim, sampler=self.sampler,
             )
             return [fn(task) for task in tasks]
         metered = _METERED.get(fn)

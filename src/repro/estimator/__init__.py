@@ -4,8 +4,13 @@ The paper's evaluation is a family of parameter sweeps over one expensive
 estimator.  This subsystem gives every figure/table driver one engine:
 
 * :mod:`repro.estimator.sweep` -- declarative grid sweeps (named axes,
-  cartesian or zipped), worker-invariant ``multiprocessing`` sharding, and
-  branch-and-bound pruning for optimizers.
+  cartesian or zipped), worker-invariant ``multiprocessing`` sharding,
+  branch-and-bound pruning for optimizers, and CI-width-driven adaptive
+  shot budgeting (:func:`adaptive_shots`).
+* :mod:`repro.estimator.rare` -- rare-event Monte Carlo: importance
+  sampling of DEM shots from a reweighted proposal with per-shot
+  likelihood-ratio weights (:class:`ImportanceSampler`,
+  :func:`rare_engine`, :func:`suggested_inflation`).
 * :mod:`repro.estimator.registry` -- a string-keyed registry of
   :class:`Scenario` objects returning structured records, driving the
   ``python -m repro`` CLI so new scenarios need zero CLI edits.
@@ -39,10 +44,16 @@ from repro.estimator.serialize import (
     finite,
     parse_override_value,
 )
+from repro.estimator.rare import (
+    ImportanceSampler,
+    rare_engine,
+    suggested_inflation,
+)
 from repro.estimator.sweep import (
     Axis,
     GridSpec,
     MinimizeResult,
+    adaptive_shots,
     grid,
     minimize,
     sweep,
@@ -52,10 +63,12 @@ from repro.estimator.sweep import (
 __all__ = [
     "Axis",
     "GridSpec",
+    "ImportanceSampler",
     "MinimizeResult",
     "Scenario",
     "ScenarioResult",
     "UnknownParamsError",
+    "adaptive_shots",
     "all_sections",
     "available_scenarios",
     "cache_stats",
@@ -69,8 +82,10 @@ __all__ = [
     "memoized",
     "minimize",
     "parse_override_value",
+    "rare_engine",
     "register_scenario",
     "run_scenario",
+    "suggested_inflation",
     "sweep",
     "zipped",
 ]

@@ -46,6 +46,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.obs import metrics as _metrics
 from repro.obs.spans import span
 
@@ -77,6 +79,19 @@ _MINIMIZE_EVALUATED = _metrics.counter(
 _MINIMIZE_PRUNED = _metrics.counter(
     "repro_sweep_pruned_total",
     "Grid points pruned by branch-and-bound minimize().",
+)
+_ADAPTIVE_WAVES = _metrics.counter(
+    "repro_sweep_adaptive_waves_total",
+    "Shot waves dispatched by adaptive_shots().",
+)
+_ADAPTIVE_SHOTS = _metrics.counter(
+    "repro_sweep_adaptive_shots_total",
+    "Shots allocated by adaptive_shots().",
+)
+_ADAPTIVE_MAX_CI = _metrics.gauge(
+    "repro_sweep_adaptive_last_max_ci_width",
+    "Widest per-point failure-rate CI at the end of the most recent "
+    "adaptive_shots() run.",
 )
 
 
@@ -296,6 +311,126 @@ def _pooled(
         else:
             shard_results = pool.map(_run_shard, shards)
     return [record for shard in shard_results for record in shard]
+
+
+RunPointFn = Callable[[Dict[str, Any], int, np.random.SeedSequence], Any]
+
+
+def adaptive_shots(
+    run_point: RunPointFn,
+    spec: GridSpec,
+    *,
+    total_shots: int,
+    wave_shots: int,
+    initial_shots: Optional[int] = None,
+    level: float = 0.95,
+    seed: int = 0,
+) -> List[Record]:
+    """Spend a shared shot budget where the failure estimate is loosest.
+
+    A fixed-shots sweep wastes most of its budget: points deep below
+    threshold need orders of magnitude more shots than points near it to
+    reach the same confidence.  ``adaptive_shots`` seeds every grid point
+    with ``initial_shots``, then repeatedly dispatches one ``wave_shots``
+    wave to the point whose failure-rate confidence interval
+    (:meth:`~repro.decoder.engine.EngineResult.failure_rate_ci` at
+    ``level``) is currently *widest* -- ties break to the lowest grid
+    index -- until ``total_shots`` have been allocated.
+
+    Args:
+        run_point: ``run_point(point, shots, seed_seq) -> EngineResult``
+            (or any object with the same sufficient-statistic fields,
+            ``failure_rate_ci`` and ``__add__``).  Waves for one point
+            are merged with ``+``, so the function may be importance
+            sampled (:func:`repro.estimator.rare.rare_engine`) or brute
+            force per point.
+        spec: the sweep grid; one record per point, in grid order.
+        total_shots: total budget across all points (the last wave is
+            truncated to land exactly on it).
+        wave_shots: shots per adaptive wave.
+        initial_shots: shots of the seeding round every point gets
+            before adaptation starts (default ``wave_shots``).
+        level: CI level driving the allocation (and reported bounds).
+        seed: root entropy.  The wave for (point ``i``, wave ``j``) is
+            seeded ``SeedSequence(entropy=seed, spawn_key=(i, j))`` -- a
+            pure function of the point and its wave ordinal, never of
+            the global allocation order, so per-point shot streams are
+            reproducible even if the allocation policy changes.
+
+    Returns:
+        One record per grid point: the point's axes plus ``shots``,
+        ``failures``, ``rate``, ``weighted_rate``, ``std_error``,
+        ``ess``, ``ci_low``, ``ci_high``, and ``waves`` (seeding round
+        included).
+    """
+    if total_shots < 1:
+        raise ValueError("total_shots must be >= 1")
+    if wave_shots < 1:
+        raise ValueError("wave_shots must be >= 1")
+    if initial_shots is None:
+        initial_shots = wave_shots
+    if initial_shots < 1:
+        raise ValueError("initial_shots must be >= 1")
+    points = spec.points()
+    if not points:
+        return []
+    if initial_shots * len(points) > total_shots:
+        raise ValueError(
+            f"initial_shots * points = {initial_shots * len(points)} "
+            f"exceeds total_shots = {total_shots}"
+        )
+
+    def dispatch(index: int, shots: int) -> None:
+        seq = np.random.SeedSequence(
+            entropy=seed, spawn_key=(index, waves[index])
+        )
+        result = run_point(points[index], shots, seq)
+        results[index] = (
+            result if results[index] is None else results[index] + result
+        )
+        waves[index] += 1
+        _ADAPTIVE_WAVES.inc()
+        _ADAPTIVE_SHOTS.inc(shots)
+
+    results: List[Any] = [None] * len(points)
+    waves = [0] * len(points)
+    remaining = total_shots
+    with span(
+        "sweep.adaptive_shots", points=len(points), total_shots=total_shots
+    ):
+        for index in range(len(points)):
+            dispatch(index, initial_shots)
+            remaining -= initial_shots
+        while remaining > 0:
+            widths = [
+                high - low
+                for low, high in (
+                    res.failure_rate_ci(level) for res in results
+                )
+            ]
+            index = max(range(len(points)), key=lambda i: (widths[i], -i))
+            shots = min(wave_shots, remaining)
+            dispatch(index, shots)
+            remaining -= shots
+    final_widths = []
+    records: List[Record] = []
+    for index, (point, res) in enumerate(zip(points, results)):
+        low, high = res.failure_rate_ci(level)
+        final_widths.append(high - low)
+        records.append({
+            **point,
+            "shots": res.shots,
+            "failures": res.failures,
+            "rate": res.rate,
+            "weighted_rate": res.weighted_rate,
+            "std_error": res.std_error,
+            "ess": res.ess,
+            "ci_low": low,
+            "ci_high": high,
+            "waves": waves[index],
+        })
+    _ADAPTIVE_MAX_CI.set(max(final_widths))
+    return records
 
 
 @dataclass(frozen=True)

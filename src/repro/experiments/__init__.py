@@ -14,6 +14,7 @@ from repro.experiments import (
     fig14,
     headline,
     noise_sweeps,
+    rare_sweeps,
     tables,
 )
 
@@ -26,5 +27,6 @@ __all__ = [
     "fig14",
     "headline",
     "noise_sweeps",
+    "rare_sweeps",
     "tables",
 ]

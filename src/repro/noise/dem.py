@@ -119,6 +119,42 @@ class DetectorErrorModel:
         ]
         return DetectorErrorModel(merged, self.num_detectors, self.num_observables)
 
+    def reweighted(
+        self, inflation: float, *, max_probability: float = 0.5
+    ) -> "DetectorErrorModel":
+        """Uniformly inflate every mechanism probability (importance proposal).
+
+        Each mechanism's firing probability becomes
+        ``min(inflation * p, max_probability)``: the proposal model the
+        rare-event sampler (:mod:`repro.estimator.rare`) draws shots from.
+        The cap keeps the proposal inside (0, 0.5] -- above 0.5 a
+        mechanism's LLR decoding weight goes negative and
+        ``dem_consistency`` rejects the model.  Capping does not bias the
+        estimator: the per-shot likelihood-ratio weight is computed from
+        the *actual* capped probabilities, so any proposal with support
+        wherever the original has support stays exact; the cap only trades
+        a little variance on the capped mechanisms.
+
+        Symptom topology (detector/observable sets, mechanism order) is
+        preserved exactly, so for disjoint-symptom models ``reweighted``
+        commutes with :meth:`merged`.
+        """
+        if inflation <= 0:
+            raise ValueError("inflation must be > 0")
+        if not 0.0 < max_probability <= 0.5:
+            raise ValueError("max_probability must be in (0, 0.5]")
+        mechanisms = [
+            ErrorMechanism(
+                min(mech.probability * inflation, max_probability),
+                mech.detectors,
+                mech.observables,
+            )
+            for mech in self.mechanisms
+        ]
+        return DetectorErrorModel(
+            mechanisms, self.num_detectors, self.num_observables
+        )
+
 
 def enumerate_mechanisms(circuit: "Circuit"):
     """List (op, probability, x_qubits, z_qubits, tag) for every outcome.
