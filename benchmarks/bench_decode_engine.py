@@ -23,6 +23,17 @@ Three benchmark families, all written into ``BENCH_frame.json``:
   baseline's shots/sec, and the packed and unpacked configurations must
   return bit-identical failure counts for the same seed (also asserted,
   on full detector tables, in ``tests/test_sim_compiled.py``).
+* **Decode-phase overhaul** (:func:`decode_phase`,
+  :func:`decode_phase_quick_gate`) -- the batched union-find arena
+  (with its sparse <=2-defect fast path) against the per-shot reference
+  walk it replaced (``batched=False``): decode-phase-only throughput on
+  pre-sampled packed tables (>= 3x at d=11, p=5e-4), end-to-end engine
+  shots/s with the cross-batch syndrome cache live (>= 1.5x at the same
+  point), a sample-vs-decode wall-clock split read from the engine
+  phase counters, and a CI gate holding the batched path bit-identical
+  to and never slower than per-shot at d=5/d=7.  Decode-phase timings
+  run under ``caching_disabled()`` so the syndrome cache cannot serve
+  either side; bit-identity is asserted per table and per seed.
 * **Periodic round-compilation** (:func:`periodic_vs_linear`,
   :func:`periodic_d11_point`) -- the cold per-circuit pipeline (DEM
   extraction + program compilation + packed sampling) under the
@@ -58,11 +69,14 @@ from pathlib import Path
 import numpy as np
 
 from repro import obs
-from repro.core.cache import clear_caches
+from repro.core.cache import caching_disabled, clear_caches
 from repro.decoder.analysis import paired_failure_counts
+from repro.decoder.cache import syndrome_cache
 from repro.decoder.engine import DecodingEngine, make_decoder
 from repro.decoder.graph import DecodingGraph
 from repro.decoder.mwpm import MWPMDecoder
+from repro.decoder.union_find import UnionFindDecoder
+from repro.obs import metrics as _metrics
 from repro.estimator.rare import rare_engine
 from repro.noise.dem import extract_dem
 from repro.noise.models import BiasedPauli
@@ -234,6 +248,208 @@ def packed_vs_unpacked(distance=7, p=1e-3, shots=6000, warm_shots=2048, seed=29)
         f"{row['speedup_vs_unpacked_engine']:.1f}x vs unpacked engine)"
     )
     return row
+
+
+# -- decode-phase overhaul ------------------------------------------------------
+
+
+DECODE_PHASE_SPEEDUP_TARGET = 3.0
+DECODE_E2E_SPEEDUP_TARGET = 1.5
+# Quick/CI floor: the batched union-find arena must never decode slower
+# than the per-shot reference walk it replaced, even at small distances
+# where batches are shallow and per-row constants are modest.
+DECODE_QUICK_FLOOR = 1.0
+
+
+def _counter_value(name: str) -> float:
+    # counter() is get-or-create, so this reads the engine's live
+    # phase-seconds counters without importing its private globals.
+    return float(_metrics.counter(name).value)
+
+
+def _decode_phase_tables(circuit, decoder, shots, warm_shots, seed):
+    """Sample a warm-up table plus TIMING_REPEATS fresh-seeded tables.
+
+    Fresh seeds per repeat for the same reason as :func:`_timed_engine_run`:
+    re-decoding one table would hand the second repeat a workload no fresh
+    batch ever sees.  The canonical (first) table's observables come back
+    unpacked for the failure-count comparison.
+    """
+    with DecodingEngine(circuit, decoder, shard_shots=4096) as engine:
+        warm = engine.collect(warm_shots, seed=seed + 1)[0]
+        tables = []
+        observables = None
+        for i in range(TIMING_REPEATS):
+            det, obs_packed = engine.collect(shots, seed=seed + 100 * i)
+            tables.append(det)
+            if i == 0:
+                observables = np.unpackbits(
+                    obs_packed, axis=1, count=circuit.num_observables
+                )
+    return warm, tables, observables
+
+
+def _timed_decode(decoder, tables, num_detectors):
+    """Median decode-phase rate over the tables; returns all predictions."""
+    rates = []
+    predictions = []
+    for det in tables:
+        start = time.perf_counter()
+        predictions.append(decoder.decode_packed(det, num_detectors))
+        rates.append(det.shape[0] / (time.perf_counter() - start))
+    return predictions, statistics.median(rates)
+
+
+def _decode_phase_pair(distance, rounds, p, shots, warm_shots, seed):
+    """Time per-shot vs batched union-find decode on identical tables.
+
+    Both decoders are warmed (edge arrays, sparse tables, arena buffers)
+    on a separate warm table, then timed under ``caching_disabled()`` so
+    the cross-batch syndrome cache -- a separate win, measured in
+    :func:`decode_phase` -- cannot serve rows to either side.  Per-table
+    predictions must be bit-identical.
+    """
+    circuit = memory_circuit(distance, rounds, p)
+    dem = FrameSimulator(circuit).detector_error_model()
+    graph = DecodingGraph.from_dem(dem)
+    per_shot = UnionFindDecoder(graph, batched=False)
+    batched = UnionFindDecoder(graph)
+    num_det = circuit.num_detectors
+    warm, tables, observables = _decode_phase_tables(
+        circuit, batched, shots, warm_shots, seed
+    )
+    with caching_disabled():
+        per_shot.decode_packed(warm, num_det)
+        batched.decode_packed(warm, num_det)
+        base_preds, rate_base = _timed_decode(per_shot, tables, num_det)
+        fast_preds, rate_fast = _timed_decode(batched, tables, num_det)
+    for full, arena in zip(base_preds, fast_preds):
+        assert np.array_equal(full, arena), (
+            f"batched union-find must be bit-identical to the per-shot "
+            f"path at d={distance}"
+        )
+    failures = int((fast_preds[0][:, 0] ^ observables[:, 0]).sum())
+    return circuit, per_shot, batched, rate_base, rate_fast, failures
+
+
+def decode_phase(distance=11, p=5e-4, shots=4096, warm_shots=512, seed=67):
+    """d=11 low-p acceptance point for the batched decode path.
+
+    Phase one times the *decode phase alone* on pre-sampled packed
+    tables (collected once through the shared-memory transport): the
+    batched union-find arena with its sparse <=2-defect fast path vs the
+    per-shot reference walk it replaced, cache disabled for both.  Phase
+    two re-runs the full engine (sample + dedup + decode) with each
+    decoder -- the batched side with the cross-batch syndrome cache live,
+    the per-shot side with it disabled (the pre-overhaul configuration)
+    -- and splits the batched run's wall clock into sample vs decode
+    seconds from the engine phase counters.  Both phases must be
+    bit-identical: same predictions per table, same failure count per
+    seed.
+    """
+    rounds = distance + 1
+    (circuit, per_shot, batched, rate_base, rate_fast, failures) = (
+        _decode_phase_pair(distance, rounds, p, shots, warm_shots, seed)
+    )
+
+    sample_before = _counter_value("repro_engine_sample_seconds_total")
+    decode_before = _counter_value("repro_engine_decode_seconds_total")
+    info_before = syndrome_cache().cache_info()
+    engine_new = DecodingEngine(circuit, batched, shard_shots=1024)
+    res_new, rate_e2e_new = _timed_engine_run(engine_new, shots, warm_shots, seed)
+    engine_new.close()
+    sample_seconds = (
+        _counter_value("repro_engine_sample_seconds_total") - sample_before
+    )
+    decode_seconds = (
+        _counter_value("repro_engine_decode_seconds_total") - decode_before
+    )
+    info_after = syndrome_cache().cache_info()
+
+    engine_old = DecodingEngine(circuit, per_shot, shard_shots=1024)
+    with caching_disabled():
+        res_old, rate_e2e_old = _timed_engine_run(
+            engine_old, shots, warm_shots, seed
+        )
+    engine_old.close()
+    assert (res_new.shots, res_new.failures) == (res_old.shots, res_old.failures), (
+        "batched and per-shot engines must agree bit-for-bit at a fixed seed"
+    )
+
+    row = {
+        "distance": distance,
+        "p": p,
+        "rounds": rounds,
+        "shots": shots,
+        "per_shot_decode_shots_per_s": rate_base,
+        "batched_decode_shots_per_s": rate_fast,
+        "decode_speedup": rate_fast / rate_base,
+        "per_shot_e2e_shots_per_s": rate_e2e_old,
+        "batched_e2e_shots_per_s": rate_e2e_new,
+        "e2e_speedup": rate_e2e_new / rate_e2e_old,
+        "sample_seconds": sample_seconds,
+        "decode_seconds": decode_seconds,
+        "cache_hits": info_after.hits - info_before.hits,
+        "cache_misses": info_after.misses - info_before.misses,
+        "failures": failures,
+        "bit_identical": True,
+    }
+    print(
+        f"  d={distance} p={p:g} shots={shots} | decode-only per-shot "
+        f"{rate_base:7.0f}/s  batched {rate_fast:7.0f}/s "
+        f"({row['decode_speedup']:.1f}x)  end-to-end {rate_e2e_old:7.0f}/s "
+        f"-> {rate_e2e_new:7.0f}/s ({row['e2e_speedup']:.1f}x; "
+        f"sample {sample_seconds:.2f}s / decode {decode_seconds:.2f}s; "
+        f"cache {row['cache_hits']} hits / {row['cache_misses']} misses)"
+    )
+    return row
+
+
+def decode_phase_quick_gate(p=1e-3, shots=2048, warm_shots=256, seed=71):
+    """CI gate: batched union-find bit-identical, never slower (d=5/d=7)."""
+    rows = {}
+    for distance in (5, 7):
+        _, _, _, rate_base, rate_fast, failures = _decode_phase_pair(
+            distance, distance + 1, p, shots, warm_shots, seed
+        )
+        rows[f"d{distance}"] = {
+            "distance": distance,
+            "p": p,
+            "shots": shots,
+            "per_shot_decode_shots_per_s": rate_base,
+            "batched_decode_shots_per_s": rate_fast,
+            "decode_speedup": rate_fast / rate_base,
+            "failures": failures,
+            "bit_identical": True,
+        }
+        print(
+            f"  d={distance} p={p:g} shots={shots} | decode-only per-shot "
+            f"{rate_base:7.0f}/s  batched {rate_fast:7.0f}/s "
+            f"({rows[f'd{distance}']['decode_speedup']:.1f}x, bit-identical)"
+        )
+    return rows
+
+
+def _assert_decode_phase(row: dict) -> None:
+    assert row["decode_speedup"] >= DECODE_PHASE_SPEEDUP_TARGET, (
+        f"batched union-find decode phase only {row['decode_speedup']:.2f}x "
+        f"the per-shot path at d={row['distance']} "
+        f"(target {DECODE_PHASE_SPEEDUP_TARGET}x)"
+    )
+    assert row["e2e_speedup"] >= DECODE_E2E_SPEEDUP_TARGET, (
+        f"batched engine only {row['e2e_speedup']:.2f}x end-to-end over the "
+        f"per-shot engine at d={row['distance']} "
+        f"(target {DECODE_E2E_SPEEDUP_TARGET}x)"
+    )
+
+
+def _assert_decode_quick(rows: dict) -> None:
+    for row in rows.values():
+        assert row["decode_speedup"] >= DECODE_QUICK_FLOOR, (
+            f"batched union-find decode at d={row['distance']} only "
+            f"{row['decode_speedup']:.2f}x the per-shot path "
+            f"(floor {DECODE_QUICK_FLOOR}x)"
+        )
 
 
 # -- biased-noise point ---------------------------------------------------------
@@ -745,6 +961,8 @@ def test_packed_engine_speedup():
     print()
     row = packed_vs_unpacked()
     biased = biased_noise_point()
+    print("decode-phase overhaul (quick gate, d=5/d=7):")
+    decode_block = {"quick_gate": decode_phase_quick_gate()}
     print("periodic round-compilation (d=7, p=1e-3):")
     periodic = periodic_vs_linear()
     print("rare-event importance sampling (overlap d=5, gain d=7):")
@@ -755,12 +973,14 @@ def test_packed_engine_speedup():
     _write_output({
         "packed_vs_unpacked": row,
         "biased_d7": biased,
+        "decode_phase": decode_block,
         "periodic_vs_linear": {"d7": periodic},
         "rare_event": {"overlap": rare_overlap, "gain": rare_gain},
         "metrics_overhead": overhead,
     })
     _assert_speedups(row)
     _assert_biased(biased)
+    _assert_decode_quick(decode_block["quick_gate"])
     _assert_periodic(periodic, PERIODIC_SPEEDUP_TARGET)
     _assert_rare_overlap(rare_overlap)
     _assert_rare_gain(rare_gain)
@@ -785,6 +1005,11 @@ def main() -> None:
         biased = biased_noise_point(shots=1500, warm_shots=512)
     else:
         biased = biased_noise_point()
+    print("decode-phase overhaul (quick gate, d=5/d=7):")
+    decode_block = {"quick_gate": decode_phase_quick_gate()}
+    if not args.quick:
+        print("decode-phase overhaul (d=11, p=5e-4):")
+        decode_block["d11"] = decode_phase()
     print("periodic round-compilation (d=7, p=1e-3):")
     periodic_block = {"d7": periodic_vs_linear()}
     if not args.quick:
@@ -802,12 +1027,19 @@ def main() -> None:
     _write_output({
         "packed_vs_unpacked": row,
         "biased_d7": biased,
+        "decode_phase": decode_block,
         "periodic_vs_linear": periodic_block,
         "rare_event": {"overlap": rare_overlap, "gain": rare_gain},
         "metrics_overhead": overhead,
     })
     _assert_speedups(row)
     _assert_biased(biased)
+    # Quick/CI runs gate the decode overhaul on "bit-identical and never
+    # slower" at d=5/d=7; the full run additionally holds the d=11 3x
+    # decode-phase and 1.5x end-to-end acceptance targets.
+    _assert_decode_quick(decode_block["quick_gate"])
+    if not args.quick:
+        _assert_decode_phase(decode_block["d11"])
     # Quick/CI runs gate on "periodic path active and never slower"; the
     # full run holds the 2x end-to-end acceptance target and the d=11
     # low-p point.

@@ -163,11 +163,69 @@ def _check_scenarios() -> Iterator[Diagnostic]:
             )
 
 
+def _check_decoder_batch_invariance() -> Iterator[Diagnostic]:
+    """Every decoder's ``_decode_unique`` must be batch-order invariant.
+
+    The packed pipeline dedups, reorders, and re-batches syndrome rows
+    freely (and the sparse fast path splits batches further), so a
+    decoder whose per-row output depends on its batch-mates or their
+    order would silently break the engine's worker-count invariance.
+    Each decoder decodes the same unique rows as one batch, reversed,
+    and split in two; the per-row outputs must agree exactly.
+    """
+    import numpy as np
+
+    from repro.decoder.base import BatchDecoder
+    from repro.decoder.engine import available_decoders, make_decoder
+    from repro.sim.frame import FrameSimulator
+
+    circuit, dem, meta = _fixture()
+    detectors, _ = FrameSimulator(circuit).sample(
+        96, rng=np.random.default_rng(20260808)
+    )
+    unique = np.unique(np.asarray(detectors, dtype=np.uint8), axis=0)
+    half = unique.shape[0] // 2
+    for name in available_decoders():
+        try:
+            decoder = make_decoder(name, dem, detector_meta=meta, basis="Z")
+        except Exception:
+            continue  # constructibility failures reported by _check_decoders
+        if not isinstance(decoder, BatchDecoder):
+            continue
+        try:
+            full = np.asarray(decoder._decode_unique(unique.copy()))
+            rev = np.asarray(decoder._decode_unique(unique[::-1].copy()))
+            split = np.concatenate([
+                np.asarray(decoder._decode_unique(unique[:half].copy())),
+                np.asarray(decoder._decode_unique(unique[half:].copy())),
+            ])
+        except Exception as exc:
+            yield Diagnostic(
+                "error", _PASS,
+                f"decoder {name!r} _decode_unique raised on a d=3 memory "
+                f"batch: {exc!r}",
+            )
+            continue
+        if not np.array_equal(full, rev[::-1]):
+            yield Diagnostic(
+                "error", _PASS,
+                f"decoder {name!r} _decode_unique is batch-order "
+                f"dependent: reversing the rows changed per-row outputs",
+            )
+        if not np.array_equal(full, split):
+            yield Diagnostic(
+                "error", _PASS,
+                f"decoder {name!r} _decode_unique is batch-composition "
+                f"dependent: splitting the batch changed per-row outputs",
+            )
+
+
 def registry_contract(ctx: PassContext) -> Iterator[Diagnostic]:
     """Construct every registered decoder/noise-model/scenario entry."""
     yield from _check_decoders()
     yield from _check_noise_models()
     yield from _check_scenarios()
+    yield from _check_decoder_batch_invariance()
 
 
 register_pass("registry_contract", registry_contract, scope="global")

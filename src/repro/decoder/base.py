@@ -28,7 +28,7 @@ its subset-DP matcher this way).
 from __future__ import annotations
 
 import time
-from typing import Protocol, runtime_checkable
+from typing import NamedTuple, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -85,12 +85,39 @@ class Decoder(Protocol):
     ) -> np.ndarray: ...
 
 
+class SparseTables(NamedTuple):
+    """Closed-form correction tables for syndromes with <= 2 defects.
+
+    Built once per decoder from its shortest-path (MWPM) or cluster-growth
+    (union-find) structure; rows whose ``*_ok`` entry is False fall
+    through to the decoder's full batch path (and raise its usual
+    infeasibility error there).
+    """
+
+    singles: np.ndarray  # (num_detectors, num_observables) uint8 rows
+    singles_ok: np.ndarray  # (num_detectors,) bool
+    pair_mask: Optional[np.ndarray] = None  # (N, N) int64 observable masks
+    pair_ok: Optional[np.ndarray] = None  # (N, N) bool
+
+
 class BatchDecoder:
     """Base class providing batched decoding via syndrome deduplication.
 
     Subclasses implement :meth:`decode` (one shot) and expose
     ``num_observables`` (as an attribute or property); batching, dedup,
-    and scatter-back live here.
+    and scatter-back live here.  Two optional hooks extend the packed
+    pipeline:
+
+    * :meth:`_sparse_tables` -- closed-form correction tables for
+      syndromes with <= 2 defects (:class:`SparseTables`); rows they
+      cover bypass :meth:`_decode_unique` entirely.
+    * :meth:`_cache_token` -- a content fingerprint of the decoder; when
+      non-None, unique rows are served from / inserted into the
+      cross-batch syndrome cache (:mod:`repro.decoder.cache`).
+
+    Both are pure optimizations: their outputs are certified/constructed
+    bit-identical to the full path, so enabling them never changes a
+    decoded row.
     """
 
     num_observables: int
@@ -103,6 +130,81 @@ class BatchDecoder:
         out = np.zeros((syndromes.shape[0], self.num_observables), dtype=np.uint8)
         for i in range(syndromes.shape[0]):
             out[i] = self.decode(syndromes[i])
+        return out
+
+    def _sparse_tables(self) -> Optional[SparseTables]:
+        """Closed-form <= 2-defect tables, or None (no fast path)."""
+        return None
+
+    def _cache_token(self) -> Optional[str]:
+        """Fingerprint keying the syndrome cache, or None (no caching).
+
+        Must change whenever the decoder could produce a different row
+        for the same syndrome (graph content, matcher configuration).
+        """
+        return None
+
+    def _decode_unique_rows(self, syndromes: np.ndarray) -> np.ndarray:
+        """Sparse-defect fast path in front of :meth:`_decode_unique`.
+
+        Syndromes with <= 2 defects -- the overwhelming majority of
+        unique rows at sub-threshold noise -- are read from the
+        precomputed tables; only the dense residue reaches the full
+        decoder.
+        """
+        tables = self._sparse_tables()
+        if tables is None:
+            return np.asarray(self._decode_unique(syndromes), dtype=np.uint8)
+        num_obs = self.num_observables
+        out = np.zeros((syndromes.shape[0], num_obs), dtype=np.uint8)
+        counts = syndromes.sum(axis=1, dtype=np.int64)
+        handled = counts == 0
+        ones = np.flatnonzero(counts == 1)
+        if ones.size:
+            det = np.argmax(syndromes[ones], axis=1)
+            ok = tables.singles_ok[det]
+            out[ones[ok]] = tables.singles[det[ok]]
+            handled[ones[ok]] = True
+        if tables.pair_mask is not None:
+            twos = np.flatnonzero(counts == 2)
+            if twos.size:
+                # np.nonzero walks rows in order with ascending columns,
+                # so each reshaped row is one syndrome's sorted defect pair.
+                pairs = np.nonzero(syndromes[twos])[1].reshape(twos.size, 2)
+                u, v = pairs[:, 0], pairs[:, 1]
+                ok = tables.pair_ok[u, v]
+                out[twos[ok]] = _unmask_rows(
+                    tables.pair_mask[u[ok], v[ok]], num_obs
+                )
+                handled[twos[ok]] = True
+        dense = np.flatnonzero(~handled)
+        if dense.size:
+            out[dense] = np.asarray(
+                self._decode_unique(syndromes[dense]), dtype=np.uint8
+            )
+        return out
+
+    def _decode_unique_packed(
+        self, unique_packed: np.ndarray, num_detectors: int
+    ) -> np.ndarray:
+        """Decode unique packed rows through the cache + fast-path stack."""
+        from repro.decoder import cache as _syndrome_cache
+
+        token = self._cache_token()
+        if token is None or not _syndrome_cache.cache_enabled():
+            return self._decode_unique_rows(
+                _unpack_rows(unique_packed, num_detectors)
+            )
+        out, pending = _syndrome_cache.lookup_rows(
+            token, unique_packed, self.num_observables, type(self).__name__
+        )
+        if pending.size:
+            sub_packed = unique_packed[pending]
+            decoded = self._decode_unique_rows(
+                _unpack_rows(sub_packed, num_detectors)
+            )
+            out[pending] = decoded
+            _syndrome_cache.insert_rows(token, sub_packed, decoded)
         return out
 
     def decode_batch(self, syndromes: np.ndarray, *, dedup: bool = True) -> np.ndarray:
@@ -162,10 +264,7 @@ class BatchDecoder:
             return out
         start = time.perf_counter() if _metrics.enabled() else 0.0
         first_index, inverse = _unique_packed_rows(packed)
-        unique_syndromes = _unpack_rows(packed[first_index], num_detectors)
-        unique_out = np.asarray(
-            self._decode_unique(unique_syndromes), dtype=np.uint8
-        )
+        unique_out = self._decode_unique_packed(packed[first_index], num_detectors)
         out = unique_out[inverse]
         if _metrics.enabled():
             label = type(self).__name__
@@ -176,6 +275,20 @@ class BatchDecoder:
             _DECODE_UNIQUE.labels(decoder=label).inc(len(first_index))
             _DECODE_BATCH_UNIQUE.labels(decoder=label).observe(len(first_index))
         return out
+
+
+def _unmask_rows(masks: np.ndarray, num_observables: int) -> np.ndarray:
+    """Expand int64 observable bitmasks to byte-per-bit prediction rows.
+
+    Vectorized replacement for the per-observable ``(mask >> i) & 1``
+    Python loops the decoders used to carry; one broadcasted shift covers
+    the whole batch.
+    """
+    masks = np.asarray(masks, dtype=np.int64).reshape(-1)
+    if num_observables == 0:
+        return np.zeros((masks.shape[0], 0), dtype=np.uint8)
+    shifts = np.arange(num_observables, dtype=np.int64)
+    return ((masks[:, None] >> shifts) & 1).astype(np.uint8)
 
 
 def _unpack_rows(packed: np.ndarray, num_detectors: int) -> np.ndarray:

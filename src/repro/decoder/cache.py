@@ -1,0 +1,158 @@
+"""Persistent syndrome -> correction cache shared by all decoders.
+
+``run_until`` / ``run_until_rel_error`` waves and the sweep-level
+``adaptive_shots`` allocator re-decode the same recurring syndromes wave
+after wave: dedup collapses duplicates *within* one shard batch, but every
+new batch starts from scratch.  This module adds the cross-batch layer: a
+bounded per-process LRU mapping (decoder fingerprint, packed syndrome
+bytes) to the decoded correction row, living across shards inside each
+pool worker.
+
+The cache is an optimization, never a semantic input: values are exact
+decoder outputs keyed by the exact packed syndrome and a content
+fingerprint of the decoder configuration and decoding graph
+(:meth:`repro.decoder.graph.DecodingGraph.digest`), so hits return
+bit-identical rows and results stay invariant under worker count, batch
+composition, and cache capacity.  It registers with
+:func:`repro.core.cache.register_cache`, so ``clear_caches()`` empties it
+and ``caching_disabled()`` bypasses it; hit/miss totals are exported as
+``repro_syndrome_cache_{hits,misses}_total{decoder=...}`` counters.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.core import cache as _core_cache
+from repro.obs import metrics as _metrics
+
+# Decoded rows kept per process.  At paper-relevant p the recurring
+# syndrome population is far smaller than this; the bound is a runaway
+# guard for above-threshold inputs (entries are tiny: key bytes + one
+# uint8 row per observable).
+DEFAULT_CAPACITY = 1 << 16
+
+_CACHE_HITS = _metrics.counter(
+    "repro_syndrome_cache_hits_total",
+    "Unique syndrome rows served from the cross-batch decode cache.",
+    ("decoder",),
+)
+_CACHE_MISSES = _metrics.counter(
+    "repro_syndrome_cache_misses_total",
+    "Unique syndrome rows decoded and inserted into the decode cache.",
+    ("decoder",),
+)
+
+
+class _CacheInfo(NamedTuple):
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+class SyndromeCache:
+    """Bounded LRU from (decoder token, packed syndrome bytes) to row bytes.
+
+    Exposes ``lru_cache``-style ``cache_info()`` / ``cache_clear()`` so it
+    plugs into :func:`repro.core.cache.register_cache`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, bytes], bytes]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, token: str, key: bytes) -> Optional[bytes]:
+        row = self._entries.get((token, key))
+        if row is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end((token, key))
+        self._hits += 1
+        return row
+
+    def put(self, token: str, key: bytes, row: bytes) -> None:
+        entries = self._entries
+        entries[(token, key)] = row
+        entries.move_to_end((token, key))
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def cache_info(self) -> _CacheInfo:
+        return _CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            maxsize=self.capacity,
+            currsize=len(self._entries),
+        )
+
+    def cache_clear(self) -> None:
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+_SYNDROME_CACHE = SyndromeCache()
+_core_cache.register_cache("repro.decoder.syndrome", _SYNDROME_CACHE)
+
+
+def syndrome_cache() -> SyndromeCache:
+    """The per-process syndrome-decode cache singleton."""
+    return _SYNDROME_CACHE
+
+
+def cache_enabled() -> bool:
+    """Whether decode results may be served from / inserted into the cache.
+
+    Off while :func:`repro.core.cache.caching_disabled` is active on the
+    calling thread, or process-wide when ``REPRO_SYNDROME_CACHE=0`` is set
+    in the environment (the switch pool workers inherit, used by the
+    cached-vs-uncached equivalence tests and benchmarks).
+    """
+    if _core_cache.bypassed():
+        return False
+    return os.environ.get("REPRO_SYNDROME_CACHE", "1") != "0"
+
+
+def lookup_rows(
+    token: str, unique_packed: np.ndarray, num_observables: int, label: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Serve cached correction rows for a batch of unique packed syndromes.
+
+    Returns ``(out, pending)``: a zeroed ``(rows, num_observables)`` uint8
+    table with every cache hit filled in, and the indices of the rows that
+    missed (in ascending order) for the caller to decode and
+    :func:`insert_rows`.
+    """
+    rows = unique_packed.shape[0]
+    out = np.zeros((rows, num_observables), dtype=np.uint8)
+    cache = _SYNDROME_CACHE
+    missed = []
+    for i in range(rows):
+        row = cache.get(token, unique_packed[i].tobytes())
+        if row is None:
+            missed.append(i)
+        elif num_observables:
+            out[i] = np.frombuffer(row, dtype=np.uint8)
+    pending = np.asarray(missed, dtype=np.intp)
+    if _metrics.enabled():
+        _CACHE_HITS.labels(decoder=label).inc(rows - pending.size)
+        _CACHE_MISSES.labels(decoder=label).inc(pending.size)
+    return out, pending
+
+
+def insert_rows(
+    token: str, unique_packed: np.ndarray, decoded: np.ndarray
+) -> None:
+    """Insert freshly decoded rows (aligned with ``unique_packed``)."""
+    cache = _SYNDROME_CACHE
+    for i in range(unique_packed.shape[0]):
+        cache.put(token, unique_packed[i].tobytes(), decoded[i].tobytes())

@@ -54,6 +54,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple, 
 
 import numpy as np
 
+from repro.decoder import transport as _transport
 from repro.decoder.base import BatchDecoder, Decoder
 from repro.decoder.graph import DecodingGraph
 from repro.decoder.mwpm import MWPMDecoder
@@ -537,7 +538,41 @@ def _collect_shard_metered(task):
     return out, _metrics.delta_since(base)
 
 
-_METERED = {_run_shard: _run_shard_metered, _collect_shard: _collect_shard_metered}
+def _collect_shard_shm(
+    task: Tuple[int, np.random.SeedSequence, str, str, int]
+) -> int:
+    """Sample one shard straight into the parent's shared-memory tables.
+
+    The task carries the two segment names and the shard's starting row;
+    the worker writes its bit-packed rows in place (see
+    :mod:`repro.decoder.transport`), so nothing but this acknowledgement
+    rides the pickle pipe.
+    """
+    shots, seed_seq, det_name, obs_name, row_start = task
+    sim: FrameSimulator = _WORKER["sim"]
+    metered = _metrics.enabled()
+    start = time.perf_counter() if metered else 0.0
+    det, obs = sim.sample_packed(shots, rng=np.random.default_rng(seed_seq))
+    if metered:
+        _ENGINE_SAMPLE_SECONDS.inc(time.perf_counter() - start)
+        _ENGINE_SHARDS.inc()
+    _transport.write_rows(det_name, row_start, det)
+    _transport.write_rows(obs_name, row_start, obs)
+    return shots
+
+
+def _collect_shard_shm_metered(task):
+    """Pool-side wrapper for :func:`_collect_shard_shm`; see above."""
+    base = _metrics.snapshot()
+    out = _collect_shard_shm(task)
+    return out, _metrics.delta_since(base)
+
+
+_METERED = {
+    _run_shard: _run_shard_metered,
+    _collect_shard: _collect_shard_metered,
+    _collect_shard_shm: _collect_shard_shm_metered,
+}
 
 
 class DecodingEngine:
@@ -578,6 +613,11 @@ class DecodingEngine:
             failure probability under the *original* model.  The decoder
             still decodes against the original DEM.  ``collect`` is
             unavailable in this mode.
+        transport: shard-table transport for :meth:`collect` -- ``"auto"``
+            / ``"shm"`` write shard rows into shared-memory segments the
+            returned arrays view zero-copy; ``"pickle"`` ships each
+            shard's arrays through the pool pipe and concatenates (the
+            pre-shared-memory baseline).  Bit-identical either way.
 
     The engine keeps one persistent worker pool alive across ``run`` /
     ``run_until`` calls (spawning a pool ships the circuit and decoder to
@@ -599,11 +639,15 @@ class DecodingEngine:
         packed: bool = True,
         compile_mode: str = "auto",
         sampler=None,
+        transport: str = "auto",
     ) -> None:
         if shard_shots < 1:
             raise ValueError("shard_shots must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.transport = transport
         self.circuit = circuit
         self.observable = observable
         self.shard_shots = shard_shots
@@ -829,15 +873,21 @@ class DecodingEngine:
         """Sample detector/observable tables without decoding them.
 
         Shards are drawn exactly as in :meth:`run` (same seed spawning,
-        same layout), sampled with the packed pipeline, and concatenated
-        in shard order -- workers return bit-packed arrays, ~8x less
-        pickle bandwidth than byte-per-bit tables.
+        same layout) and sampled with the packed pipeline.  With the
+        default shared-memory transport, workers write their shard rows
+        directly into two pre-allocated segments at the shard's row
+        offset and the returned arrays are zero-copy views of those
+        segments (see :mod:`repro.decoder.transport`); ``transport=
+        "pickle"`` restores the ship-and-concatenate baseline.  Both
+        transports produce bit-identical tables for the same seed.
 
         Returns:
             (detectors, observables): uint8 arrays of shapes
             (shots, ceil(num_detectors/8)) and
             (shots, ceil(num_observables/8)), one bit-packed row per shot
-            (the dedup-key layout ``decode_packed`` consumes).
+            (the dedup-key layout ``decode_packed`` consumes).  Shared-
+            memory-backed arrays own their segment and remain valid after
+            :meth:`close`.
         """
         if self.sampler is not None:
             raise ValueError(
@@ -856,12 +906,29 @@ class DecodingEngine:
             )
         root = _as_seed_sequence(seed)
         sizes = self._shard_sizes(shots)
-        tasks = list(zip(sizes, root.spawn(len(sizes))))
-        parts = self._execute(tasks, fn=_collect_shard)
-        return (
-            np.concatenate([p[0] for p in parts]),
-            np.concatenate([p[1] for p in parts]),
-        )
+        seeds = root.spawn(len(sizes))
+        if self.transport == "pickle":
+            parts = self._execute(list(zip(sizes, seeds)), fn=_collect_shard)
+            return (
+                np.concatenate([p[0] for p in parts]),
+                np.concatenate([p[1] for p in parts]),
+            )
+        # Shared-memory transport: allocate both output tables once, have
+        # every shard write its rows in place at its offset, and return
+        # views of the segments -- the parent never copies a row.  The
+        # rows, offsets, and values are exactly the pickle path's, so the
+        # transports are bit-identical per seed.
+        detectors, det_name = _transport.allocate(shots, det_width)
+        observables, obs_name = _transport.allocate(shots, obs_width)
+        offsets = [0]
+        for size in sizes[:-1]:
+            offsets.append(offsets[-1] + size)
+        tasks = [
+            (size, seed_seq, det_name, obs_name, offset)
+            for size, seed_seq, offset in zip(sizes, seeds, offsets)
+        ]
+        self._execute(tasks, fn=_collect_shard_shm)
+        return detectors, observables
 
     # -- internals ----------------------------------------------------------
 

@@ -37,7 +37,7 @@ from typing import Dict, List, Tuple
 import networkx as nx
 import numpy as np
 
-from repro.decoder.base import BatchDecoder
+from repro.decoder.base import BatchDecoder, SparseTables, _unmask_rows
 from repro.decoder.graph import BOUNDARY, DecodingGraph
 
 # Largest defect count handled by the exact subset-DP matcher; beyond it
@@ -108,6 +108,8 @@ class MWPMDecoder(BatchDecoder):
         self.decompose = decompose
         self._cluster_cache: Dict[Tuple[int, ...], int] = {}
         self._dense: "Tuple[np.ndarray, np.ndarray] | None" = None
+        self._sparse: "SparseTables | bool | None" = None
+        self._token: "str | None" = None
         self._nx = nx.Graph()
         self._nx.add_node(BOUNDARY)
         for det in range(graph.num_detectors):
@@ -264,6 +266,57 @@ class MWPMDecoder(BatchDecoder):
         if len(self._cluster_cache) >= _CLUSTER_CACHE_LIMIT:
             self._cluster_cache.clear()
         self._cluster_cache[cluster] = mask
+
+    # -- sparse fast path / cache hooks -------------------------------------
+
+    def _cache_token(self) -> str:
+        """Content fingerprint keying the cross-batch syndrome cache."""
+        if self._token is None:
+            self._token = (
+                f"mwpm:{self.matcher}:{int(self.decompose)}:"
+                f"{self.graph.digest()}"
+            )
+        return self._token
+
+    def _sparse_tables(self) -> "SparseTables | None":
+        """Closed-form <= 2-defect corrections from the dense path tables.
+
+        A single defect matches the boundary (``bobs[u]``); a pair matches
+        directly iff ``d(u, v) < d(u, B) + d(v, B)`` -- the cluster
+        relation *and* the subset DP's strict-improvement rule, so ties
+        resolve exactly as in :meth:`_match_dp` -- and otherwise routes
+        both ends to the boundary.  Only valid for the DP matcher (blossom
+        breaks degenerate ties arbitrarily); infeasible entries fall
+        through to the full path, which raises the usual error.
+        """
+        if self._sparse is None:
+            if (
+                self.matcher != "auto"
+                or self.graph.num_observables > _VEC_DP_MAX_OBS
+            ):
+                self._sparse = False
+            else:
+                dist, obs = self._dense_tables()
+                n = dist.shape[0] - 1
+                num_obs = self.graph.num_observables
+                bc = dist[:n, n]
+                bobs = obs[:n, n]
+                singles_ok = np.isfinite(bc)
+                singles = _unmask_rows(bobs, num_obs)
+                singles[~singles_ok] = 0
+                bsum = bc[:, None] + bc[None, :]
+                use_pair = dist[:n, :n] < bsum
+                pair_mask = np.where(
+                    use_pair, obs[:n, :n], bobs[:, None] ^ bobs[None, :]
+                )
+                pair_ok = use_pair | np.isfinite(bsum)
+                self._sparse = SparseTables(
+                    singles=singles,
+                    singles_ok=singles_ok,
+                    pair_mask=pair_mask,
+                    pair_ok=pair_ok,
+                )
+        return self._sparse or None
 
     # -- batched decoding ---------------------------------------------------
 

@@ -1,0 +1,132 @@
+"""Zero-copy shard transport over POSIX shared memory.
+
+``DecodingEngine.collect`` historically shipped every shard's bit-packed
+sample tables back through the worker pool's pickle pipe: each shard was
+serialized in the worker, copied through the pipe, deserialized in the
+parent, and finally ``np.concatenate``-copied into the output table.  This
+module replaces that with ``multiprocessing.shared_memory``: the parent
+allocates one segment per table up front, workers write their shard's rows
+directly into the segment at the shard's row offset, and the parent's
+result arrays are views of the same pages -- no pickling, no pipe copy,
+and no concatenation copy.
+
+Ownership: the returned arrays are :class:`SharedMemoryArray` views whose
+``_owner`` closes *and unlinks* the segment when the last referencing
+array is garbage collected, so the tables stay valid after the engine
+(and its pool) is closed and never leak ``/dev/shm`` entries.
+
+Worker attachments unregister themselves from ``resource_tracker``
+immediately: the parent's owner is the single point of unlinking, and a
+tracked attachment would otherwise tear the segment down when the first
+pool worker exits (or spam leak warnings on interpreter shutdown).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from multiprocessing import resource_tracker, shared_memory
+from typing import Tuple
+
+import numpy as np
+
+try:
+    # The POSIX shm syscalls the stdlib class itself wraps; attaching
+    # through them skips SharedMemory's resource-tracker registration,
+    # which is per-name (a set): concurrent register/unregister pairs
+    # from several pool workers interleave into spurious tracker errors.
+    import _posixshmem
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _posixshmem = None
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Remove a segment from this process's resource tracker."""
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class _SegmentOwner:
+    """Unlinks (and closes) one shared-memory segment on finalization."""
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self._shm = shm
+
+    def __del__(self) -> None:
+        try:
+            self._shm.unlink()
+        except Exception:
+            pass
+        try:
+            self._shm.close()
+        except Exception:
+            # The buffer may still be exported during interpreter
+            # shutdown; the mapping is reclaimed with the process either
+            # way, and the unlink above already freed the name.
+            pass
+
+
+class SharedMemoryArray(np.ndarray):
+    """ndarray view over a shared-memory segment that owns the segment.
+
+    Derived views keep the parent array -- and through it the owner --
+    alive via the ``base`` chain, so slicing the collect output is safe;
+    the segment is unlinked when the last view dies.
+    """
+
+    _owner: "_SegmentOwner | None" = None
+
+
+def allocate(rows: int, width: int) -> Tuple[SharedMemoryArray, str]:
+    """Create a (rows, width) uint8 table in a fresh segment.
+
+    Returns the owning array view and the segment name workers attach to.
+    """
+    shm = shared_memory.SharedMemory(create=True, size=max(1, rows * width))
+    # The segment stays registered with the parent's resource tracker
+    # until the owner unlinks it (stdlib unlink() unregisters), so a
+    # killed process still gets its segments reclaimed.
+    owner = _SegmentOwner(shm)
+    arr = np.ndarray((rows, width), dtype=np.uint8, buffer=shm.buf).view(
+        SharedMemoryArray
+    )
+    arr._owner = owner
+    return arr, shm.name
+
+
+def write_rows(name: str, row_start: int, rows: np.ndarray) -> None:
+    """Copy a shard's (shots, width) uint8 rows into a segment slice.
+
+    Used by pool workers: attach by name, write in place, detach.  The
+    attachment is unregistered from the worker's resource tracker (the
+    parent owns the segment's lifetime).
+    """
+    width = rows.shape[1]
+    if width == 0 or rows.shape[0] == 0:
+        return
+    data = np.ascontiguousarray(rows).reshape(-1)
+    start = row_start * width
+    if _posixshmem is not None:
+        fd = _posixshmem.shm_open("/" + name, os.O_RDWR, 0o600)
+        try:
+            size = os.fstat(fd).st_size
+            buf = mmap.mmap(fd, size)
+        finally:
+            os.close(fd)
+        try:
+            flat = np.frombuffer(buf, dtype=np.uint8)
+            flat[start:start + data.size] = data
+        finally:
+            del flat
+            buf.close()
+        return
+    shm = shared_memory.SharedMemory(name=name)  # pragma: no cover
+    _untrack(shm)
+    try:
+        flat = np.frombuffer(shm.buf, dtype=np.uint8)
+        flat[start:start + data.size] = data
+    finally:
+        del flat
+        shm.close()

@@ -7,19 +7,38 @@ spanning tree.  The paper's Fig. 13(a) motivates carrying such decoders:
 they trade accuracy (a larger decoding factor alpha) for speed, and the
 architecture tolerates the difference at ~50% volume cost.
 
-This implementation follows Delfosse-Nickerson: half-edge growth, cluster
-merging by weighted union, boundary absorption, then peeling from the
-leaves with observable-mask accumulation.
+Two implementations live here:
+
+* The **batched arena** (default) runs cluster growth for a whole
+  unique-syndrome batch at once: support is a flat ``(row, edge)`` touch
+  counter updated with sorted-key scatters over the graph's CSR incidence
+  arrays, cluster membership is a per-row union-find over dense
+  ``(rows, nodes)`` parent tables with vectorized path compression, and
+  the final correction peels the recorded spanning forest of every row
+  simultaneously (leaf rounds over compact node instances).  Half-edge
+  growth discretizes exactly to touch counting -- every increment of an
+  edge's support is half that same edge's weight, so an edge is grown at
+  two touches (one for zero-weight rails) -- which is what makes the
+  integer batch formulation bit-exact per row.
+* The **reference** per-shot implementation (``batched=False``, and the
+  ``_grow``/``_peel`` methods) is the original sequential
+  Delfosse-Nickerson loop, kept as the verification and benchmarking
+  baseline.
+
+Rows are independent in the arena: predictions are a pure per-row
+function, so batch composition and row order never change the output
+(the ``registry_contract`` analysis pass checks this for every
+registered decoder).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.decoder.base import BatchDecoder
+from repro.decoder.base import BatchDecoder, SparseTables, _unmask_rows
 from repro.decoder.graph import BOUNDARY, DecodingGraph
 
 # Edges whose -log-likelihood weight rails to ~0 (probability pinned at
@@ -27,10 +46,23 @@ from repro.decoder.graph import BOUNDARY, DecodingGraph
 # increments of a vanishing weight would otherwise stall the frontier.
 _ZERO_WEIGHT = 1e-5
 
+# Growth rounds before the decoder declares non-convergence (a defect
+# that can never become valid, e.g. a severed adjacency).
+_MAX_ROUNDS = 10_000
+
+# Observable masks ride int64 scalars through the arena; graphs with more
+# observables fall back to the reference path (mirrors the MWPM decoder's
+# vectorized-DP limit).
+_MASK_OBS_LIMIT = 62
+
+# Upper bound on rows x max(nodes, edges) elements held live per arena
+# chunk, bounding the dense per-row state tables.
+_ARENA_CHUNK_ELEMS = 1 << 24
+
 
 @dataclass
 class _Cluster:
-    """A growing cluster of detectors."""
+    """A growing cluster of detectors (reference implementation)."""
 
     root: int
     defects: int
@@ -41,11 +73,65 @@ class _Cluster:
         return self.touches_boundary or self.defects % 2 == 0
 
 
-class UnionFindDecoder(BatchDecoder):
-    """Cluster-growth decoder on a :class:`DecodingGraph`."""
+class _EdgeArrays(NamedTuple):
+    """Flat edge/incidence arrays of the decoding graph for the arena.
 
-    def __init__(self, graph: DecodingGraph) -> None:
+    The boundary is materialized as node index ``num_detectors``; edges
+    are sorted by endpoint pair so every derived ordering (and therefore
+    every tie in the arena) is a pure function of the graph.
+    """
+
+    node_count: int  # detectors + 1 (boundary at index num_detectors)
+    ea: np.ndarray  # (E,) int64 lower endpoint
+    eb: np.ndarray  # (E,) int64 upper endpoint
+    mask: np.ndarray  # (E,) int64 observable mask
+    thresh: np.ndarray  # (E,) uint8 touches to grow (1 zero-weight, else 2)
+    indptr: np.ndarray  # (node_count + 1,) CSR over incident edges
+    inc_edge: np.ndarray  # incident edge index per CSR slot
+
+
+def _ragged_ranges(starts: np.ndarray, counts: np.ndarray, total: int) -> np.ndarray:
+    """Concatenate ``arange(s, s + c)`` for every (s, c) pair, vectorized.
+
+    ``counts`` must be strictly positive (filter zeros before calling).
+    """
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    if starts.size > 1:
+        idx = np.cumsum(counts)[:-1]
+        out[idx] = starts[1:] - (starts[:-1] + counts[:-1] - 1)
+    np.cumsum(out, out=out)
+    return out
+
+
+def _find_rows(parent: np.ndarray, rows: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """Vectorized union-find root lookup with per-query path compression."""
+    if rows.size == 0:
+        return nodes
+    p = parent[rows, nodes]
+    while True:
+        gp = parent[rows, p]
+        if np.array_equal(gp, p):
+            break
+        p = gp
+    parent[rows, nodes] = p
+    return p
+
+
+class UnionFindDecoder(BatchDecoder):
+    """Cluster-growth decoder on a :class:`DecodingGraph`.
+
+    Args:
+        graph: decoding graph to grow clusters on.
+        batched: when True (default), decode through the vectorized
+            multi-row arena; ``False`` restores the per-shot reference
+            loop (the pre-arena baseline kept for verification and the
+            decode-phase benchmark).
+    """
+
+    def __init__(self, graph: DecodingGraph, *, batched: bool = True) -> None:
         self.graph = graph
+        self.batched = batched
         self._adjacency: Dict[int, List[Tuple[int, float, int]]] = {}
         for edge in graph.edges:
             if len(edge.detectors) == 1:
@@ -57,8 +143,9 @@ class UnionFindDecoder(BatchDecoder):
                 mask |= 1 << obs
             self._adjacency.setdefault(u, []).append((v, edge.weight, mask))
             self._adjacency.setdefault(v, []).append((u, edge.weight, mask))
-
-    # -- union-find plumbing -------------------------------------------------
+        self._edge_cache: Optional[_EdgeArrays] = None
+        self._sparse_cache: "SparseTables | bool | None" = None
+        self._token: Optional[str] = None
 
     def _find(self, parents: Dict[int, int], node: int) -> int:
         root = node
@@ -74,16 +161,469 @@ class UnionFindDecoder(BatchDecoder):
 
     def decode(self, syndrome: np.ndarray) -> np.ndarray:
         """Predict observable flips for one syndrome."""
+        syndrome = np.asarray(syndrome, dtype=np.uint8)
+        if not self.batched or self.graph.num_observables > _MASK_OBS_LIMIT:
+            return self._decode_reference(syndrome)
+        return self._decode_unique(syndrome[None, :])[0]
+
+    def _decode_reference(self, syndrome: np.ndarray) -> np.ndarray:
+        """Per-shot reference decode (sequential growth + DFS peel)."""
         defects = [int(d) for d in np.flatnonzero(syndrome)]
-        out = np.zeros(self.graph.num_observables, dtype=np.uint8)
         if not defects:
-            return out
+            return np.zeros(self.graph.num_observables, dtype=np.uint8)
         mask = self._peel(self._grow(set(defects)), set(defects))
-        for i in range(self.graph.num_observables):
-            out[i] = (mask >> i) & 1
+        return _unmask_rows(
+            np.array([mask], dtype=np.int64), self.graph.num_observables
+        )[0]
+
+    # -- sparse fast path / cache hooks -------------------------------------
+
+    def _cache_token(self) -> str:
+        """Content fingerprint keying the cross-batch syndrome cache."""
+        if self._token is None:
+            self._token = (
+                f"union_find:{int(self.batched)}:{self.graph.digest()}"
+            )
+        return self._token
+
+    def _sparse_tables(self) -> Optional[SparseTables]:
+        """Single-defect correction table, precomputed through the arena.
+
+        Unlike MWPM, a union-find pair correction is not a shortest-path
+        closed form (it depends on the cluster-growth geometry), so only
+        the singles table is precomputed: every boundary-reachable
+        detector's one-defect syndrome is decoded once as a single arena
+        batch.  Table rows are exact :meth:`decode` outputs, so the fast
+        path is bit-identical by construction.
+        """
+        if not self.batched or self.graph.num_observables > _MASK_OBS_LIMIT:
+            return None
+        if self._sparse_cache is None:
+            n = self.graph.num_detectors
+            edges = self._edge_arrays()
+            # A lone defect converges iff its component holds the boundary;
+            # isolated defects stay out of the table (the full path raises
+            # its non-convergence error for them).
+            reach = np.zeros(edges.node_count, dtype=bool)
+            reach[edges.node_count - 1] = True
+            while True:
+                live = reach[edges.ea] | reach[edges.eb]
+                before = int(reach.sum())
+                reach[edges.ea[live]] = True
+                reach[edges.eb[live]] = True
+                if int(reach.sum()) == before:
+                    break
+            singles_ok = reach[:n].copy()
+            singles = np.zeros(
+                (n, self.graph.num_observables), dtype=np.uint8
+            )
+            ok_rows = np.flatnonzero(singles_ok)
+            if ok_rows.size and n:
+                eye = np.zeros((ok_rows.size, n), dtype=np.uint8)
+                eye[np.arange(ok_rows.size), ok_rows] = 1
+                singles[ok_rows] = self._decode_unique(eye)
+            self._sparse_cache = SparseTables(
+                singles=singles, singles_ok=singles_ok
+            ) if n else False
+        return self._sparse_cache or None
+
+    # -- batched arena -------------------------------------------------------
+
+    def _decode_unique(self, syndromes: np.ndarray) -> np.ndarray:
+        """Decode deduplicated syndrome rows through the growth arena."""
+        num_obs = self.graph.num_observables
+        if not self.batched or num_obs > _MASK_OBS_LIMIT:
+            out = np.zeros((syndromes.shape[0], num_obs), dtype=np.uint8)
+            for i in range(syndromes.shape[0]):
+                out[i] = self._decode_reference(syndromes[i])
+            return out
+        edges = self._edge_arrays()
+        rows = syndromes.shape[0]
+        width = max(edges.node_count, edges.ea.size, 1)
+        chunk = max(1, _ARENA_CHUNK_ELEMS // width)
+        masks = np.zeros(rows, dtype=np.int64)
+        flagged = np.zeros(rows, dtype=bool)
+        for start in range(0, rows, chunk):
+            block = np.ascontiguousarray(syndromes[start:start + chunk])
+            masks[start:start + chunk], flagged[start:start + chunk] = (
+                self._arena(block, edges)
+            )
+        out = _unmask_rows(masks, num_obs)
+        # Rows where round-synchronous growth could diverge from the
+        # sequential reference (live-live merges with carried-over support,
+        # or a grown cycle whose observable mask makes the correction
+        # spanning-tree dependent) re-decode through the reference path so
+        # the arena is bit-identical to it on every row.
+        for i in np.flatnonzero(flagged):
+            out[i] = self._decode_reference(syndromes[i])
         return out
 
-    # -- growth ----------------------------------------------------------------
+    def _edge_arrays(self) -> _EdgeArrays:
+        """Canonical flat edge list + CSR incidence, built lazily."""
+        if self._edge_cache is None:
+            n = self.graph.num_detectors
+            merged: Dict[Tuple[int, int], Tuple[float, int]] = {}
+            for u, nbrs in self._adjacency.items():
+                ui = n if u == BOUNDARY else u
+                for v, weight, mask in nbrs:
+                    vi = n if v == BOUNDARY else v
+                    key = (ui, vi) if ui < vi else (vi, ui)
+                    merged.setdefault(key, (weight, mask))
+            keys = sorted(merged)
+            count = len(keys)
+            ea = np.fromiter((k[0] for k in keys), dtype=np.int64, count=count)
+            eb = np.fromiter((k[1] for k in keys), dtype=np.int64, count=count)
+            weight = np.fromiter(
+                (merged[k][0] for k in keys), dtype=np.float64, count=count
+            )
+            mask = np.fromiter(
+                (merged[k][1] for k in keys), dtype=np.int64, count=count
+            )
+            thresh = np.where(weight <= _ZERO_WEIGHT, 1, 2).astype(np.uint8)
+            if count:
+                ends = np.concatenate([ea, eb])
+                eids = np.concatenate([np.arange(count, dtype=np.int64)] * 2)
+                order = np.lexsort((eids, ends))
+                inc_edge = eids[order]
+                counts = np.bincount(ends, minlength=n + 1)
+            else:
+                inc_edge = np.zeros(0, dtype=np.int64)
+                counts = np.zeros(n + 1, dtype=np.int64)
+            indptr = np.zeros(n + 2, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._edge_cache = _EdgeArrays(
+                node_count=n + 1,
+                ea=ea,
+                eb=eb,
+                mask=mask,
+                thresh=thresh,
+                indptr=indptr,
+                inc_edge=inc_edge,
+            )
+        return self._edge_cache
+
+    def _arena(
+        self, syndromes: np.ndarray, edges: _EdgeArrays
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Grow and peel every row of one chunk.
+
+        Returns ``(masks, flagged)``: int64 observable masks per row, and a
+        bool row mask marking rows whose arena result is not certified
+        bit-identical to the sequential reference (the caller re-decodes
+        those through :meth:`_decode_reference`).
+
+        Growth is round-synchronous: every node of every invalid cluster
+        adds one touch to each un-grown incident edge, edges at threshold
+        grow, and the resulting events apply as ensure-then-union in
+        canonical (row, edge) order via a vectorized link loop.  Cluster
+        validity (defect parity, boundary contact) is recomputed from the
+        membership pairs at every round start rather than maintained
+        incrementally.
+
+        The reference loop processes clusters sequentially *within* a
+        round, so a merge can absorb a cluster whose turn had not happened
+        yet, skipping its touches for that round.  That is only possible
+        when the merge edge entered the round one touch below threshold
+        (a single cluster's touch completes it mid-round); such rows are
+        flagged rather than emulated.  Every other divergence is a
+        spanning-tree choice, which the peel-side potential check flags.
+        """
+        rows = syndromes.shape[0]
+        node_count = edges.node_count
+        boundary = node_count - 1
+        num_edges = edges.ea.size
+        flagged = np.zeros(rows, dtype=bool)
+        rows0, nodes0 = np.nonzero(syndromes)
+        if rows0.size == 0:
+            return np.zeros(rows, dtype=np.int64), flagged
+        parent = np.broadcast_to(
+            np.arange(node_count, dtype=np.int64), (rows, node_count)
+        ).copy()
+        in_cl = np.zeros((rows, node_count), dtype=bool)
+        in_cl[rows0, nodes0] = True
+        # Defect indicator padded with a zero boundary column so cluster
+        # stats index it directly with (row, node) membership pairs.
+        defect_pad = np.zeros((rows, node_count), dtype=np.int64)
+        defect_pad[:, :node_count - 1] = syndromes
+        act_r = rows0.astype(np.int64)
+        act_n = nodes0.astype(np.int64)
+        support = np.zeros(rows * num_edges, dtype=np.uint8)
+        grown = np.zeros(rows * num_edges, dtype=bool)
+        tree_rows: List[np.ndarray] = []
+        tree_edges: List[np.ndarray] = []
+        for round_no in range(_MAX_ROUNDS + 1):
+            roots = _find_rows(parent, act_r, act_n)
+            # Fresh cluster stats: defect parity and boundary contact per
+            # root, scattered back to the membership pairs.
+            root_keys = act_r * node_count + roots
+            uniq_roots, root_inv = np.unique(root_keys, return_inverse=True)
+            defects = np.bincount(
+                root_inv, weights=defect_pad[act_r, act_n],
+                minlength=uniq_roots.size,
+            ).astype(np.int64)
+            touches = np.zeros(uniq_roots.size, dtype=bool)
+            touches[root_inv[act_n == boundary]] = True
+            live = ~(touches[root_inv] | (defects[root_inv] % 2 == 0))
+            if not live.any():
+                break
+            if round_no == _MAX_ROUNDS:
+                raise self._convergence_error(
+                    act_r, roots, live, defects[root_inv],
+                    touches[root_inv], grown, num_edges,
+                )
+            # Rows whose clusters are all valid stop paying per-round cost.
+            row_live = np.zeros(rows, dtype=bool)
+            row_live[act_r[live]] = True
+            keep = row_live[act_r]
+            if not keep.all():
+                act_r, act_n = act_r[keep], act_n[keep]
+                live = live[keep]
+            rows_l = act_r[live]
+            nodes_l = act_n[live]
+            # One touch per (invalid-cluster node, incident un-grown edge).
+            starts = edges.indptr[nodes_l]
+            cnts = edges.indptr[nodes_l + 1] - starts
+            nz = cnts > 0
+            total = int(cnts.sum())
+            if total == 0:
+                continue
+            pos = _ragged_ranges(starts[nz], cnts[nz], total)
+            touched = np.repeat(rows_l[nz], cnts[nz]) * num_edges
+            touched += edges.inc_edge[pos]
+            touched = touched[~grown[touched]]
+            if touched.size == 0:
+                continue
+            cand, counts = np.unique(touched, return_counts=True)
+            prev = support[cand].astype(np.int64)
+            support[cand] += counts.astype(np.uint8)
+            ready = support[cand] >= edges.thresh[cand % num_edges]
+            newly = cand[ready]
+            if newly.size == 0:
+                continue
+            grown[newly] = True
+            # Edges entering the round one touch below threshold can grow
+            # at a single cluster's sequential turn in the reference loop;
+            # _apply_events flags live-live merges on those edges.
+            risky = prev[ready] == (
+                edges.thresh[newly % num_edges].astype(np.int64) - 1
+            )
+            new_r, new_n = self._apply_events(
+                newly, risky, edges, parent, in_cl,
+                tree_rows, tree_edges, flagged, boundary, node_count, num_edges,
+            )
+            if new_r.size:
+                act_r = np.concatenate([act_r, new_r])
+                act_n = np.concatenate([act_n, new_n])
+        masks = self._peel_forest(
+            rows, tree_rows, tree_edges, syndromes, edges, grown, flagged
+        )
+        return masks, flagged
+
+    def _apply_events(
+        self,
+        newly: np.ndarray,
+        risky: np.ndarray,
+        edges: _EdgeArrays,
+        parent: np.ndarray,
+        in_cl: np.ndarray,
+        tree_rows: List[np.ndarray],
+        tree_edges: List[np.ndarray],
+        flagged: np.ndarray,
+        boundary: int,
+        node_count: int,
+        num_edges: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply one round's grown edges; returns the new (row, node) pairs.
+
+        ``newly`` is sorted by flat (row, edge) key.  Endpoints outside
+        any cluster are ensured as singletons first (the reference loop's
+        ``ensure``), turning every event into a union.  Unions run as a
+        vectorized link loop: each pass links the higher root under the
+        lower (strictly decreasing, hence acyclic and safe to apply
+        simultaneously), first event per target root wins, losers retry
+        next pass, and same-root events drop as cycles.
+        """
+        g_r = newly // num_edges
+        g_e = newly % num_edges
+        ends_a = edges.ea[g_e]
+        ends_b = edges.eb[g_e]
+        in_a = in_cl[g_r, ends_a]
+        in_b = in_cl[g_r, ends_b]
+        # A risky edge joining two distinct round-start clusters is the
+        # one event whose sequential-order effects the arena cannot
+        # reproduce; flag the row for reference re-decode.
+        merge_risk = np.flatnonzero(in_a & in_b & risky)
+        if merge_risk.size:
+            ru0 = _find_rows(parent, g_r[merge_risk], ends_a[merge_risk])
+            rv0 = _find_rows(parent, g_r[merge_risk], ends_b[merge_risk])
+            flagged[g_r[merge_risk[ru0 != rv0]]] = True
+        # Ensure fresh endpoints as singleton clusters (they are their own
+        # roots already); they join via the union loop below.
+        fresh_r = np.concatenate([g_r[~in_a], g_r[~in_b]])
+        fresh_n = np.concatenate([ends_a[~in_a], ends_b[~in_b]])
+        if fresh_r.size:
+            fresh_keys = np.unique(fresh_r * node_count + fresh_n)
+            fresh_r = fresh_keys // node_count
+            fresh_n = fresh_keys % node_count
+            in_cl[fresh_r, fresh_n] = True
+        rem = np.arange(newly.size)
+        tr: List[np.ndarray] = []
+        te: List[np.ndarray] = []
+        while rem.size:
+            ru = _find_rows(parent, g_r[rem], ends_a[rem])
+            rv = _find_rows(parent, g_r[rem], ends_b[rem])
+            merge = ru != rv
+            rem = rem[merge]
+            if rem.size == 0:
+                break
+            ru = ru[merge]
+            rv = rv[merge]
+            hi = np.maximum(ru, rv)
+            lo = np.minimum(ru, rv)
+            key = g_r[rem] * node_count + hi
+            _, first = np.unique(key, return_index=True)
+            win = np.zeros(rem.size, dtype=bool)
+            win[first] = True
+            widx = rem[win]
+            parent[g_r[widx], hi[win]] = lo[win]
+            tr.append(g_r[widx])
+            te.append(g_e[widx])
+            rem = rem[~win]
+        if tr:
+            tree_rows.append(np.concatenate(tr))
+            tree_edges.append(np.concatenate(te))
+        return fresh_r, fresh_n
+
+    def _peel_forest(
+        self,
+        rows: int,
+        tree_rows: List[np.ndarray],
+        tree_edges: List[np.ndarray],
+        syndromes: np.ndarray,
+        edges: _EdgeArrays,
+        grown: np.ndarray,
+        flagged: np.ndarray,
+    ) -> np.ndarray:
+        """Peel every row's spanning forest at once; returns int64 masks.
+
+        A tree edge is flipped iff its leaf-side subtree holds odd defect
+        parity, so the result is independent of peel order; leaves are
+        removed in synchronized rounds over compact (row, node) instances.
+
+        The reference peel picks *its own* spanning tree over the grown
+        subgraph; two trees give the same correction iff every grown cycle
+        carries a zero observable mask.  After peeling, tree-derived node
+        potentials certify each non-tree grown edge; rows with an
+        inconsistent cycle are flagged for reference re-decode.
+        """
+        masks = np.zeros(rows, dtype=np.int64)
+        num_edges = edges.ea.size
+        grown_flat = np.flatnonzero(grown)
+        if not tree_rows:
+            if grown_flat.size:
+                flagged[np.unique(grown_flat // num_edges)] = True
+            return masks
+        t_r = np.concatenate(tree_rows)
+        t_e = np.concatenate(tree_edges)
+        if t_r.size == 0:
+            if grown_flat.size:
+                flagged[np.unique(grown_flat // num_edges)] = True
+            return masks
+        node_count = edges.node_count
+        boundary = node_count - 1
+        e_u = edges.ea[t_e]
+        e_v = edges.eb[t_e]
+        e_mask = edges.mask[t_e]
+        keys = np.concatenate([t_r * node_count + e_u, t_r * node_count + e_v])
+        inst_keys, inverse = np.unique(keys, return_inverse=True)
+        count = t_e.size
+        uid = np.asarray(inverse[:count], dtype=np.int64)
+        vid = np.asarray(inverse[count:], dtype=np.int64)
+        total = inst_keys.size
+        deg = np.bincount(uid, minlength=total) + np.bincount(vid, minlength=total)
+        xor_nbr = np.zeros(total, dtype=np.int64)
+        np.bitwise_xor.at(xor_nbr, uid, vid)
+        np.bitwise_xor.at(xor_nbr, vid, uid)
+        xor_mask = np.zeros(total, dtype=np.int64)
+        np.bitwise_xor.at(xor_mask, uid, e_mask)
+        np.bitwise_xor.at(xor_mask, vid, e_mask)
+        node_of = inst_keys % node_count
+        row_of = inst_keys // node_count
+        detector = node_of != boundary
+        parity = np.zeros(total, dtype=np.int64)
+        parity[detector] = syndromes[row_of[detector], node_of[detector]]
+        replay: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        while True:
+            leaves = np.flatnonzero(detector & (deg == 1))
+            if leaves.size == 0:
+                break
+            nbr = xor_nbr[leaves]
+            # A two-node component has two mutual leaves; the larger
+            # instance id defers so exactly one side peels the edge.
+            skip = (deg[nbr] == 1) & detector[nbr] & (nbr < leaves)
+            if skip.any():
+                leaves = leaves[~skip]
+                nbr = nbr[~skip]
+            leaf_mask = xor_mask[leaves]
+            replay.append((leaves, nbr, leaf_mask))
+            odd = parity[leaves] == 1
+            if odd.any():
+                np.bitwise_xor.at(masks, row_of[leaves[odd]], leaf_mask[odd])
+                np.bitwise_xor.at(parity, nbr[odd], 1)
+            np.subtract.at(deg, nbr, 1)
+            np.bitwise_xor.at(xor_nbr, nbr, leaves)
+            np.bitwise_xor.at(xor_mask, nbr, leaf_mask)
+            deg[leaves] = 0
+        # Certify non-tree grown edges against tree potentials: replaying
+        # the peel in reverse assigns phi root-first along every path.
+        tree_flat = t_r * num_edges + t_e
+        cycle_flat = np.setdiff1d(grown_flat, tree_flat)
+        if cycle_flat.size:
+            phi = np.zeros(total, dtype=np.int64)
+            for leaves, nbr, leaf_mask in reversed(replay):
+                phi[leaves] = phi[nbr] ^ leaf_mask
+            c_r = cycle_flat // num_edges
+            c_e = cycle_flat % num_edges
+            key_u = c_r * node_count + edges.ea[c_e]
+            key_v = c_r * node_count + edges.eb[c_e]
+            iu = np.minimum(np.searchsorted(inst_keys, key_u), total - 1)
+            iv = np.minimum(np.searchsorted(inst_keys, key_v), total - 1)
+            consistent = (
+                (inst_keys[iu] == key_u)
+                & (inst_keys[iv] == key_v)
+                & ((phi[iu] ^ phi[iv]) == edges.mask[c_e])
+            )
+            if not consistent.all():
+                flagged[np.unique(c_r[~consistent])] = True
+        return masks
+
+    def _convergence_error(
+        self,
+        act_r: np.ndarray,
+        roots: np.ndarray,
+        live: np.ndarray,
+        pair_defects: np.ndarray,
+        pair_touches: np.ndarray,
+        grown: np.ndarray,
+        num_edges: int,
+    ) -> RuntimeError:
+        row = int(act_r[live][0])
+        sel = live & (act_r == row)
+        state = {
+            int(root): (int(dc), bool(tb))
+            for root, dc, tb in zip(
+                roots[sel], pair_defects[sel], pair_touches[sel]
+            )
+        }
+        grown_count = int(grown[row * num_edges:(row + 1) * num_edges].sum())
+        return RuntimeError(
+            "union-find growth failed to converge after "
+            f"{_MAX_ROUNDS} rounds; invalid clusters "
+            f"(root -> (defects, touches_boundary)): {state}; "
+            f"{grown_count} edges grown"
+        )
+
+    # -- reference growth ----------------------------------------------------
 
     def _grow(self, defects: Set[int]) -> Set[frozenset]:
         """Grow clusters until valid; returns the set of fully-grown edges.
@@ -96,7 +636,6 @@ class UnionFindDecoder(BatchDecoder):
         clusters: Dict[int, _Cluster] = {}
         support: Dict[frozenset, float] = {}
         grown: Set[frozenset] = set()
-        membership: Dict[int, int] = {}
 
         def ensure(node: int) -> None:
             if node not in parents:
@@ -118,7 +657,7 @@ class UnionFindDecoder(BatchDecoder):
             if not bad:
                 return grown
             safety += 1
-            if safety > 10_000:
+            if safety > _MAX_ROUNDS:
                 state = {
                     root: (clusters[root].defects, clusters[root].touches_boundary)
                     for root in bad
@@ -158,7 +697,7 @@ class UnionFindDecoder(BatchDecoder):
             clusters[ra].touches_boundary or clusters[rb].touches_boundary,
         )
 
-    # -- peeling ------------------------------------------------------------------
+    # -- reference peeling ---------------------------------------------------
 
     def _peel(self, grown: Set[frozenset], defects: Set[int]) -> int:
         """Peel spanning forests of the grown edges; return observable mask."""

@@ -389,8 +389,14 @@ class TestMWPMDecomposition:
         np.testing.assert_array_equal(scalar, batch[:100])
 
     def test_cluster_cache_reused(self, memory_setup):
+        from repro.core.cache import clear_caches
+
         _, dem, detectors, _ = memory_setup
         decoder = make_decoder("mwpm", dem)
+        # Earlier tests may have left these exact syndromes in the
+        # cross-batch syndrome cache, which would satisfy the batch
+        # before the cluster layer ever runs; start from a cold cache.
+        clear_caches()
         first = decoder.decode_batch(detectors)
         assert len(decoder._cluster_cache) > 0
         again = decoder.decode_batch(detectors)
